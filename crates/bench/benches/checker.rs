@@ -1,0 +1,115 @@
+//! E10 bench — validity checker and guarantee evaluator costs as the
+//! trace grows, plus raw rule-engine throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hcm_bench::scenarios;
+use hcm_checker::{check_validity, guarantee::check_guarantee, RuleSet};
+use hcm_core::{Bindings, EventDesc, ItemId, SimDuration, SimTime, TemplateDesc, Term, Value};
+use hcm_rulelang::parse_guarantee;
+use hcm_toolkit::Scenario;
+
+fn rule_set_of(scenario: &Scenario) -> RuleSet {
+    let mut rs = RuleSet::new();
+    for site in &scenario.sites {
+        for (stmt, id) in site.rid.interfaces.iter().zip(&site.iface_ids) {
+            rs.add_interface(*id, site.site, stmt);
+        }
+    }
+    for rule in &scenario.strategy.rules {
+        rs.add_strategy(rule.id, rule.lhs_site, rule.rhs_site, &rule.rule);
+    }
+    rs
+}
+
+fn trace_of_size(updates: u64) -> (hcm_core::Trace, RuleSet) {
+    let horizon = updates * 10;
+    let mut sc = scenarios::salary_scenario(
+        3,
+        8,
+        SimDuration::from_secs(10),
+        SimTime::from_secs(horizon),
+    );
+    sc.run_to_quiescence();
+    (sc.trace(), rule_set_of(&sc))
+}
+
+fn print_series() {
+    eprintln!("\n[E10] checker cost vs trace size:");
+    eprintln!(
+        "  {:<10} {:>8} {:>14} {:>16}",
+        "updates", "events", "validity (ms)", "guarantee (ms)"
+    );
+    let follows = parse_guarantee(
+        "follows",
+        "(salary2(n) = y) @ t1 => (salary1(n) = y) @ t2 and t2 <= t1",
+    )
+    .unwrap();
+    for updates in [25u64, 50, 100] {
+        let (trace, rules) = trace_of_size(updates);
+        let t0 = std::time::Instant::now();
+        let rep = check_validity(&trace, &rules);
+        let validity_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        assert!(rep.is_valid());
+        let t1 = std::time::Instant::now();
+        let g = check_guarantee(&trace, &follows, None);
+        let guarantee_ms = t1.elapsed().as_secs_f64() * 1000.0;
+        assert!(g.holds);
+        eprintln!(
+            "  {:<10} {:>8} {:>14.1} {:>16.1}",
+            updates,
+            trace.len(),
+            validity_ms,
+            guarantee_ms
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+
+    let (trace, rules) = trace_of_size(60);
+    let follows = parse_guarantee(
+        "follows",
+        "(salary2(n) = y) @ t1 => (salary1(n) = y) @ t2 and t2 <= t1",
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("checker");
+    g.sample_size(10);
+    g.bench_function("validity", |b| {
+        b.iter(|| check_validity(&trace, &rules).violations.len());
+    });
+    g.bench_function("guarantee_follows", |b| {
+        b.iter(|| check_guarantee(&trace, &follows, None).instantiations);
+    });
+    g.finish();
+
+    // Rule-engine primitive: template matching throughput.
+    let template = TemplateDesc::N {
+        item: hcm_core::ItemPattern::with("salary1", [Term::var("n")]),
+        value: Term::var("b"),
+    };
+    let events: Vec<EventDesc> = (0..1000)
+        .map(|i| EventDesc::N {
+            item: ItemId::with("salary1", [Value::from(format!("e{}", i % 10))]),
+            value: Value::Int(i),
+        })
+        .collect();
+    let mut g = c.benchmark_group("rule_engine");
+    g.bench_function("match_1000_events", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for e in &events {
+                let mut bind = Bindings::new();
+                if template.match_desc(e, &mut bind) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

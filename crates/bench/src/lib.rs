@@ -1,0 +1,107 @@
+//! # hcm-bench — the experiment harness
+//!
+//! One Criterion bench target per experiment of `EXPERIMENTS.md`. Each
+//! target does two things:
+//!
+//! 1. prints the experiment's **series table** (the reproduction of the
+//!    paper's qualitative claims as numbers — miss rates, message
+//!    counts, latencies, detection times) once at startup;
+//! 2. benchmarks the underlying machinery with Criterion (simulation
+//!    throughput, rule-engine and checker costs).
+//!
+//! Run everything with `cargo bench --workspace`; the tables land on
+//! stderr and in `EXPERIMENTS.md`'s measured columns.
+
+/// Common scenario builders shared by the bench targets.
+pub mod scenarios {
+    use hcm_core::{SimDuration, SimTime};
+    use hcm_toolkit::backends::RawStore;
+    use hcm_toolkit::workload::PoissonWriter;
+    use hcm_toolkit::{Scenario, ScenarioBuilder};
+
+    /// CM-RID for the notify-source salary site.
+    pub const RID_SRC: &str = r#"
+ris = relational
+service = 200ms
+[interface]
+Ws(salary1(n), b) -> N(salary1(n), b) within 2s
+RR(salary1(n)) when salary1(n) = b -> R(salary1(n), b) within 1s
+[command read salary1]
+select salary from employees where empid = $p0
+[map salary1]
+table = employees
+key = empid
+col = salary
+"#;
+
+    /// CM-RID for the writable destination salary site.
+    pub const RID_DST: &str = r#"
+ris = relational
+service = 200ms
+[interface]
+WR(salary2(n), b) -> W(salary2(n), b) within 1s
+[command write salary2]
+update employees set salary = $value where empid = $p0
+[command insert salary2]
+insert into employees values ($p0, $value)
+[command read salary2]
+select salary from employees where empid = $p0
+[map salary2]
+table = employees
+key = empid
+col = salary
+"#;
+
+    /// The §4.2 propagation strategy.
+    pub const PROPAGATE: &str = r#"
+[locate]
+salary1 = A
+salary2 = B
+[strategy]
+N(salary1(n), b) -> WR(salary2(n), b) within 5s
+"#;
+
+    /// Fresh employees database with `n` rows.
+    #[must_use]
+    pub fn employees(n: usize) -> hcm_ris::relational::Database {
+        let mut db = hcm_ris::relational::Database::new();
+        db.create_table("employees", &["empid", "salary"]).unwrap();
+        for i in 0..n {
+            db.execute(&format!("INSERT INTO employees VALUES ('e{i}', {})", 1000 + i))
+                .unwrap();
+        }
+        db
+    }
+
+    /// The salary scenario with a Poisson workload over `employees`
+    /// employees, mean update gap `gap`, running until `until`.
+    #[must_use]
+    pub fn salary_scenario(
+        seed: u64,
+        employees_n: usize,
+        gap: SimDuration,
+        until: SimTime,
+    ) -> Scenario {
+        let mut sc = ScenarioBuilder::new(seed)
+            .site("A", RawStore::Relational(employees(employees_n)), RID_SRC)
+            .unwrap()
+            .site("B", RawStore::Relational(employees(employees_n)), RID_DST)
+            .unwrap()
+            .strategy(PROPAGATE)
+            .build()
+            .unwrap();
+        let target = sc.site("A").translator;
+        let ids: Vec<String> = (0..employees_n).map(|i| format!("e{i}")).collect();
+        sc.add_actor(Box::new(PoissonWriter::sql_updates(
+            target,
+            gap,
+            until,
+            "employees",
+            "salary",
+            "empid",
+            ids,
+            (1, 1_000_000),
+        )));
+        sc
+    }
+}

@@ -1,0 +1,1026 @@
+//! Guarantee evaluation over finite traces.
+//!
+//! Implements the §3.3 semantics: variables on the left of `⇒` are
+//! universally quantified, variables appearing only on the right are
+//! existentially quantified; data variables are bound by equality
+//! conditions (`(Y = y) @ t1` binds `y` to Y's value at `t1`);
+//! parameterized data names quantify over the item instances present
+//! in the trace.
+//!
+//! Quantification over continuous time is reduced to the *salient
+//! grid* (see the crate docs): item-change instants, shifted by the
+//! formula's constant offsets, with ±1 ms neighbours. On the integer
+//! millisecond clock this is exact for the paper's formula class.
+
+use crate::state::StateIndex;
+use hcm_core::{ItemId, SimTime, Term, Trace, Value};
+use hcm_rulelang::{CmpOp, Cond, CondEnv, Expr, GAtom, Guarantee, TimeExpr};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why (or that) a guarantee failed, for one universal instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuaranteeViolation {
+    /// Human-readable description of the failing instantiation.
+    pub instantiation: String,
+}
+
+impl fmt::Display for GuaranteeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no witness for {}", self.instantiation)
+    }
+}
+
+/// Result of evaluating one guarantee.
+#[derive(Debug, Clone)]
+pub struct GuaranteeReport {
+    /// Guarantee name.
+    pub name: String,
+    /// Whether every universal instantiation had an existential
+    /// witness.
+    pub holds: bool,
+    /// Number of LHS instantiations checked.
+    pub instantiations: usize,
+    /// Violations found (capped).
+    pub violations: Vec<GuaranteeViolation>,
+}
+
+/// Compact outcome used by experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuaranteeOutcome {
+    /// Holds on the trace.
+    Holds,
+    /// Violated on the trace.
+    Violated,
+    /// Vacuously true (no LHS instantiation).
+    Vacuous,
+}
+
+impl GuaranteeReport {
+    /// Collapse to the three-way outcome.
+    #[must_use]
+    pub fn outcome(&self) -> GuaranteeOutcome {
+        if !self.holds {
+            GuaranteeOutcome::Violated
+        } else if self.instantiations == 0 {
+            GuaranteeOutcome::Vacuous
+        } else {
+            GuaranteeOutcome::Holds
+        }
+    }
+}
+
+const MAX_VIOLATIONS: usize = 8;
+
+/// One (partial) assignment: data-variable bindings + time-variable
+/// assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Env {
+    vars: BTreeMap<String, Value>,
+    times: BTreeMap<String, SimTime>,
+}
+
+impl Env {
+    fn new() -> Self {
+        Env { vars: BTreeMap::new(), times: BTreeMap::new() }
+    }
+
+    fn describe(&self) -> String {
+        let vs: Vec<String> = self.vars.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let ts: Vec<String> = self.times.iter().map(|(k, t)| format!("{k}={t}")).collect();
+        format!("[{} ; {}]", vs.join(", "), ts.join(", "))
+    }
+}
+
+/// Condition environment for a fixed instant.
+struct AtTime<'a> {
+    idx: &'a StateIndex,
+    t: SimTime,
+    env: &'a Env,
+}
+
+impl CondEnv for AtTime<'_> {
+    fn item(&self, item: &ItemId) -> Option<Value> {
+        self.idx.value_at(item, self.t).cloned()
+    }
+    fn var(&self, name: &str) -> Option<Value> {
+        self.env.vars.get(name).cloned()
+    }
+}
+
+/// The evaluator.
+pub struct Evaluator<'a> {
+    idx: StateIndex,
+    horizon: SimTime,
+    _trace: &'a Trace,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Build an evaluator over `trace`, with the quantification horizon
+    /// defaulting to the trace's end time.
+    #[must_use]
+    pub fn new(trace: &'a Trace, horizon: Option<SimTime>) -> Self {
+        Evaluator {
+            idx: StateIndex::build(trace),
+            horizon: horizon.unwrap_or_else(|| trace.end_time()),
+            _trace: trace,
+        }
+    }
+
+    /// Evaluate a guarantee.
+    #[must_use]
+    pub fn check(&self, g: &Guarantee) -> GuaranteeReport {
+        let static_cands = self.static_candidates(g);
+        let param_vars = collect_param_vars(g);
+        let param_cands = self.param_candidates(g, &param_vars);
+
+        // Outer enumeration of parameter variables (they are item
+        // selectors: `salary1(n)` quantifies over the employees in the
+        // databases).
+        let mut param_envs = vec![Env::new()];
+        for pv in &param_vars {
+            let cands = param_cands.get(pv).cloned().unwrap_or_default();
+            let mut next = Vec::new();
+            for env in &param_envs {
+                for c in &cands {
+                    let mut e = env.clone();
+                    e.vars.insert(pv.clone(), c.clone());
+                    next.push(e);
+                }
+            }
+            param_envs = next;
+        }
+
+        // The RHS only reads the variables its atoms mention; LHS
+        // instantiations that agree on those are equivalent for the
+        // existential search. Memoizing on the projected environment
+        // collapses the (often large) multiplicity of universal time
+        // assignments.
+        type MemoKey = (Vec<(String, Value)>, Vec<(String, SimTime)>);
+        let rhs_vars = atoms_vars(&g.rhs);
+        let mut memo: std::collections::HashMap<MemoKey, bool> = std::collections::HashMap::new();
+
+        let mut instantiations = 0;
+        let mut violations = Vec::new();
+        for base_env in param_envs {
+            // All LHS-satisfying assignments (universal side).
+            let lhs_envs = self.solve(&g.lhs, vec![base_env], &static_cands, true);
+            for env in lhs_envs {
+                instantiations += 1;
+                let projected = Env {
+                    vars: env
+                        .vars
+                        .iter()
+                        .filter(|(k, _)| rhs_vars.contains(k.as_str()))
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                    times: env
+                        .times
+                        .iter()
+                        .filter(|(k, _)| rhs_vars.contains(k.as_str()))
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect(),
+                };
+                let key = (
+                    projected.vars.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+                    projected.times.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                );
+                let holds = *memo.entry(key).or_insert_with(|| {
+                    !self.solve(&g.rhs, vec![projected], &static_cands, false).is_empty()
+                });
+                if !holds && violations.len() < MAX_VIOLATIONS {
+                    violations.push(GuaranteeViolation { instantiation: env.describe() });
+                }
+            }
+        }
+        GuaranteeReport {
+            name: g.name.clone(),
+            holds: violations.is_empty(),
+            instantiations,
+            violations,
+        }
+    }
+
+    /// Solve a conjunction of atoms: extend each env through every
+    /// atom, enumerating unassigned time variables from the candidate
+    /// grid. When `exhaustive` (LHS), all satisfying envs are returned;
+    /// otherwise the search still returns every witness but callers
+    /// only need emptiness.
+    fn solve(
+        &self,
+        atoms: &[GAtom],
+        envs: Vec<Env>,
+        cands: &BTreeMap<String, Vec<SimTime>>,
+        _exhaustive: bool,
+    ) -> Vec<Env> {
+        let mut current = envs;
+        for atom in atoms {
+            let mut next = Vec::new();
+            for env in &current {
+                self.expand_atom(atom, atoms, env, cands, &mut next);
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+
+    /// All extensions of `env` satisfying `atom`. `all_atoms` is the
+    /// surrounding conjunction: candidates for a fresh time variable
+    /// are derived from *every* atom relating it to already-assigned
+    /// variables, not just the one being evaluated (e.g. `t2` first
+    /// appears in `(X = y) @ t2` but is constrained by `t1 - κ < t2`
+    /// later in the conjunction).
+    fn expand_atom(
+        &self,
+        atom: &GAtom,
+        all_atoms: &[GAtom],
+        env: &Env,
+        cands: &BTreeMap<String, Vec<SimTime>>,
+        out: &mut Vec<Env>,
+    ) {
+        // Assign any unassigned time variables of this atom first. A
+        // variable already carrying a data binding is *not* free: the
+        // §6.3 monitor guarantee binds `s` from the auxiliary item `Tb`
+        // and then uses it as a time (timestamps stored in CM data).
+        let unassigned: Vec<&str> = atom
+            .time_vars()
+            .into_iter()
+            .filter(|v| !env.times.contains_key(*v) && !env.vars.contains_key(*v))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if let Some(v) = unassigned.first() {
+            let mut candidates: BTreeSet<SimTime> =
+                cands.get(*v).into_iter().flatten().copied().collect();
+            // Candidates derived from already-assigned variables that
+            // any TimeCmp atom of the conjunction relates `v` to
+            // (e.g. `t2 ≤ t1` / `t1 − κ < t2` with `t1` fixed): the
+            // other side's value, corrected for `v`'s own offset, with
+            // ±1 ms for strictness.
+            for other in all_atoms {
+                let GAtom::TimeCmp(a, _, b) = other else { continue };
+                let sides = [(a, b), (b, a)];
+                for (mine, theirs) in sides {
+                    let my_shift = match mine {
+                        TimeExpr::Var(name) if name == *v => 0i64,
+                        TimeExpr::Offset(name, off) if name == *v => *off,
+                        _ => continue,
+                    };
+                    let their_val = match theirs {
+                        TimeExpr::Const(t) => Some(t.as_millis() as i64),
+                        TimeExpr::Var(u) => env
+                            .times
+                            .get(u)
+                            .map(|t| t.as_millis() as i64)
+                            .or_else(|| env.vars.get(u).and_then(Value::as_int)),
+                        TimeExpr::Offset(u, off) => env
+                            .times
+                            .get(u)
+                            .map(|t| t.as_millis() as i64)
+                            .or_else(|| env.vars.get(u).and_then(Value::as_int))
+                            .map(|t| t + off),
+                    };
+                    if let Some(o) = their_val {
+                        for delta in [-1i64, 0, 1] {
+                            let ms = o - my_shift + delta;
+                            if ms >= 0 && ms as u64 <= self.horizon.as_millis() {
+                                candidates.insert(SimTime::from_millis(ms as u64));
+                            }
+                        }
+                    }
+                }
+            }
+            for c in candidates {
+                let mut e = env.clone();
+                e.times.insert((*v).to_owned(), c);
+                self.expand_atom(atom, all_atoms, &e, cands, out);
+            }
+            return;
+        }
+
+        // Fully time-assigned: evaluate. Time variables resolve from
+        // the time assignment first, then from data bindings holding an
+        // integer (timestamps stored in auxiliary items, as in the §6.3
+        // monitor guarantee). Offsets are computed *signed*: `t − 30s`
+        // near the start of the trace is a legitimate (empty-interval /
+        // always-satisfied-bound) case, not an error.
+        let lookup = |env: &Env, v: &str| -> Option<i64> {
+            env.times
+                .get(v)
+                .map(|t| t.as_millis() as i64)
+                .or_else(|| env.vars.get(v).and_then(Value::as_int))
+        };
+        let resolve_signed = |te: &TimeExpr, env: &Env| -> Option<i64> {
+            match te {
+                TimeExpr::Const(t) => Some(t.as_millis() as i64),
+                TimeExpr::Var(v) => lookup(env, v),
+                TimeExpr::Offset(v, off) => Some(lookup(env, v)? + off),
+            }
+        };
+        match atom {
+            GAtom::TimeCmp(a, op, b) => {
+                if let (Some(ta), Some(tb)) = (resolve_signed(a, env), resolve_signed(b, env)) {
+                    let cmp_ok = match op {
+                        CmpOp::Eq => ta == tb,
+                        CmpOp::Ne => ta != tb,
+                        CmpOp::Lt => ta < tb,
+                        CmpOp::Le => ta <= tb,
+                        CmpOp::Gt => ta > tb,
+                        CmpOp::Ge => ta >= tb,
+                    };
+                    if cmp_ok {
+                        out.push(env.clone());
+                    }
+                }
+            }
+            GAtom::At(cond, te) => {
+                if let Some(ms) = resolve_signed(te, env) {
+                    if ms >= 0 && ms as u64 <= self.horizon.as_millis() {
+                        self.eval_cond(cond, SimTime::from_millis(ms as u64), env, true, out);
+                    }
+                }
+            }
+            GAtom::Throughout(cond, a, b) => {
+                let (Some(ta), Some(tb)) = (resolve_signed(a, env), resolve_signed(b, env))
+                else {
+                    return;
+                };
+                if ta > tb {
+                    out.push(env.clone()); // empty interval: vacuous
+                    return;
+                }
+                let ta = SimTime::from_millis(ta.max(0) as u64);
+                let tb = SimTime::from_millis(tb.max(0) as u64);
+                let grid = self.interval_grid(cond, ta, tb);
+                let ok = grid.iter().all(|&t| {
+                    let mut probe = Vec::new();
+                    self.eval_cond(cond, t, env, false, &mut probe);
+                    !probe.is_empty()
+                });
+                if ok {
+                    out.push(env.clone());
+                }
+            }
+            GAtom::Sometime(cond, a, b) => {
+                let (Some(ta), Some(tb)) = (resolve_signed(a, env), resolve_signed(b, env))
+                else {
+                    return;
+                };
+                if ta > tb || tb < 0 {
+                    return;
+                }
+                let ta = SimTime::from_millis(ta.max(0) as u64);
+                let tb = SimTime::from_millis(tb.max(0) as u64);
+                let grid = self.interval_grid(cond, ta, tb);
+                let ok = grid.iter().any(|&t| {
+                    let mut probe = Vec::new();
+                    self.eval_cond(cond, t, env, false, &mut probe);
+                    !probe.is_empty()
+                });
+                if ok {
+                    out.push(env.clone());
+                }
+            }
+        }
+    }
+
+    /// Evaluate a condition at instant `t`, pushing each satisfying
+    /// binding extension. With `allow_bind`, an `item = var` comparison
+    /// against an unbound variable binds it (the paper's implicit data
+    /// binding); `@@`/`@?` evaluation forbids it because a binding
+    /// valid at one instant must not leak to others.
+    fn eval_cond(&self, cond: &Cond, t: SimTime, env: &Env, allow_bind: bool, out: &mut Vec<Env>) {
+        match cond {
+            Cond::True => out.push(env.clone()),
+            Cond::And(a, b) => {
+                let mut mid = Vec::new();
+                self.eval_cond(a, t, env, allow_bind, &mut mid);
+                for e in mid {
+                    self.eval_cond(b, t, &e, allow_bind, out);
+                }
+            }
+            Cond::Or(a, b) => {
+                self.eval_cond(a, t, env, allow_bind, out);
+                self.eval_cond(b, t, env, allow_bind, out);
+            }
+            Cond::Not(inner) => {
+                // Strict: the negated condition must be fully ground.
+                let mut probe = Vec::new();
+                self.eval_cond(inner, t, env, false, &mut probe);
+                if probe.is_empty() {
+                    out.push(env.clone());
+                }
+            }
+            Cond::Exists(pattern) => {
+                let at = AtTime { idx: &self.idx, t, env };
+                if Expr::Item(pattern.clone()).eval(&at).is_some_and(|v| v.exists()) {
+                    out.push(env.clone());
+                }
+            }
+            Cond::Cmp(a, op, b) => {
+                let at = AtTime { idx: &self.idx, t, env };
+                let va = a.eval(&at);
+                let vb = b.eval(&at);
+                match (va, vb) {
+                    (Some(va), Some(vb))
+                        if op.apply(&va, &vb).unwrap_or(false) => {
+                            out.push(env.clone());
+                        }
+                    (Some(v), None) if allow_bind && *op == CmpOp::Eq => {
+                        if let Expr::Var(name) = b {
+                            let mut e = env.clone();
+                            e.vars.insert(name.clone(), v);
+                            out.push(e);
+                        }
+                    }
+                    (None, Some(v)) if allow_bind && *op == CmpOp::Eq => {
+                        if let Expr::Var(name) = a {
+                            let mut e = env.clone();
+                            e.vars.insert(name.clone(), v);
+                            out.push(e);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Evaluation grid inside `[a, b]` for an interval atom: the
+    /// endpoints plus every change point of the mentioned items in
+    /// range (values are constant in between, so this is exact).
+    fn interval_grid(&self, cond: &Cond, a: SimTime, b: SimTime) -> Vec<SimTime> {
+        let mut grid: BTreeSet<SimTime> = [a, b].into_iter().collect();
+        for base in cond_bases(cond) {
+            for t in self.idx.breakpoints_by_base(&base) {
+                if t >= a && t <= b {
+                    grid.insert(t);
+                }
+            }
+        }
+        grid.into_iter().collect()
+    }
+
+    /// Static per-variable time candidates (see crate docs).
+    fn static_candidates(&self, g: &Guarantee) -> BTreeMap<String, Vec<SimTime>> {
+        let mut offsets: BTreeSet<i64> = [0].into_iter().collect();
+        let mut per_var: BTreeMap<String, BTreeSet<SimTime>> = BTreeMap::new();
+        let horizon_ms = self.horizon.as_millis() as i64;
+
+        // Gather every offset used anywhere.
+        for atom in g.lhs.iter().chain(&g.rhs) {
+            let tes: Vec<&TimeExpr> = match atom {
+                GAtom::At(_, t) => vec![t],
+                GAtom::Throughout(_, a, b) | GAtom::Sometime(_, a, b) => vec![a, b],
+                GAtom::TimeCmp(a, _, b) => vec![a, b],
+            };
+            for te in tes {
+                if let TimeExpr::Offset(_, off) = te {
+                    offsets.insert(*off);
+                    offsets.insert(-*off);
+                }
+            }
+        }
+
+        for atom in g.lhs.iter().chain(&g.rhs) {
+            // Base instants where this atom's truth can change.
+            let mut base_ts: BTreeSet<SimTime> = [SimTime::ZERO, self.horizon].into_iter().collect();
+            match atom {
+                GAtom::At(c, _) | GAtom::Throughout(c, _, _) | GAtom::Sometime(c, _, _) => {
+                    for base in cond_bases(c) {
+                        base_ts.extend(self.idx.breakpoints_by_base(&base));
+                    }
+                }
+                GAtom::TimeCmp(a, _, b) => {
+                    // Absolute bounds (`t >= 62100s`) are breakpoints of
+                    // the comparison's truth: candidates must straddle
+                    // them.
+                    for te in [a, b] {
+                        if let TimeExpr::Const(c) = te {
+                            base_ts.insert(*c);
+                        }
+                    }
+                }
+            }
+            let tes: Vec<&TimeExpr> = match atom {
+                GAtom::At(_, t) => vec![t],
+                GAtom::Throughout(_, a, b) | GAtom::Sometime(_, a, b) => vec![a, b],
+                GAtom::TimeCmp(a, _, b) => vec![a, b],
+            };
+            for te in tes {
+                let (var, shift) = match te {
+                    TimeExpr::Var(v) => (v, 0i64),
+                    TimeExpr::Offset(v, off) => (v, *off),
+                    TimeExpr::Const(_) => continue,
+                };
+                let entry = per_var.entry(var.clone()).or_default();
+                for &bt in &base_ts {
+                    for &off in &offsets {
+                        for delta in [-1i64, 0, 1] {
+                            // Candidate v such that v + shift lands near
+                            // a breakpoint (possibly offset-shifted).
+                            let ms = bt.as_millis() as i64 - shift + off + delta;
+                            if (0..=horizon_ms).contains(&ms) {
+                                entry.insert(SimTime::from_millis(ms as u64));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        per_var.into_iter().map(|(k, v)| (k, v.into_iter().collect())).collect()
+    }
+
+    /// Candidate values for parameter variables: the values appearing
+    /// at the variable's position among the trace's items of that base.
+    fn param_candidates(
+        &self,
+        g: &Guarantee,
+        param_vars: &[String],
+    ) -> BTreeMap<String, Vec<Value>> {
+        let mut out: BTreeMap<String, BTreeSet<Value>> = BTreeMap::new();
+        let mut visit_cond = |c: &Cond| {
+            for (base, pos, var) in cond_param_positions(c) {
+                if !param_vars.contains(&var) {
+                    continue;
+                }
+                let entry = out.entry(var).or_default();
+                for item in self.idx.items_with_base(&base) {
+                    if let Some(v) = item.params.get(pos) {
+                        entry.insert(v.clone());
+                    }
+                }
+            }
+        };
+        for atom in g.lhs.iter().chain(&g.rhs) {
+            match atom {
+                GAtom::At(c, _) | GAtom::Throughout(c, _, _) | GAtom::Sometime(c, _, _) => {
+                    visit_cond(c)
+                }
+                GAtom::TimeCmp(..) => {}
+            }
+        }
+        out.into_iter().map(|(k, v)| (k, v.into_iter().collect())).collect()
+    }
+}
+
+/// Check a guarantee over a trace (convenience wrapper).
+#[must_use]
+pub fn check_guarantee(trace: &Trace, g: &Guarantee, horizon: Option<SimTime>) -> GuaranteeReport {
+    Evaluator::new(trace, horizon).check(g)
+}
+
+/// Item base names a condition mentions.
+fn cond_bases(c: &Cond) -> Vec<String> {
+    fn expr(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Item(p) => out.push(p.base.clone()),
+            Expr::Neg(a) | Expr::Abs(a) => expr(a, out),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            _ => {}
+        }
+    }
+    fn cond(c: &Cond, out: &mut Vec<String>) {
+        match c {
+            Cond::Cmp(a, _, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                cond(a, out);
+                cond(b, out);
+            }
+            Cond::Not(a) => cond(a, out),
+            Cond::Exists(p) => out.push(p.base.clone()),
+            Cond::True => {}
+        }
+    }
+    let mut out = Vec::new();
+    cond(c, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// `(base, position, var)` for each variable used as an item parameter.
+fn cond_param_positions(c: &Cond) -> Vec<(String, usize, String)> {
+    fn expr(e: &Expr, out: &mut Vec<(String, usize, String)>) {
+        match e {
+            Expr::Item(p) => {
+                for (i, t) in p.params.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        out.push((p.base.clone(), i, v.clone()));
+                    }
+                }
+            }
+            Expr::Neg(a) | Expr::Abs(a) => expr(a, out),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            _ => {}
+        }
+    }
+    fn cond(c: &Cond, out: &mut Vec<(String, usize, String)>) {
+        match c {
+            Cond::Cmp(a, _, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                cond(a, out);
+                cond(b, out);
+            }
+            Cond::Not(a) => cond(a, out),
+            Cond::Exists(p) => {
+                for (i, t) in p.params.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        out.push((p.base.clone(), i, v.clone()));
+                    }
+                }
+            }
+            Cond::True => {}
+        }
+    }
+    let mut out = Vec::new();
+    cond(c, &mut out);
+    out
+}
+
+/// Every variable name (data or time) a group of atoms mentions.
+fn atoms_vars(atoms: &[GAtom]) -> std::collections::BTreeSet<String> {
+    fn expr_vars(e: &Expr, out: &mut std::collections::BTreeSet<String>) {
+        match e {
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Item(p) => {
+                for t in &p.params {
+                    if let Term::Var(v) = t {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+            Expr::Neg(a) | Expr::Abs(a) => expr_vars(a, out),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                expr_vars(a, out);
+                expr_vars(b, out);
+            }
+            Expr::Lit(_) => {}
+        }
+    }
+    fn cond_vars(c: &Cond, out: &mut std::collections::BTreeSet<String>) {
+        match c {
+            Cond::Cmp(a, _, b) => {
+                expr_vars(a, out);
+                expr_vars(b, out);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                cond_vars(a, out);
+                cond_vars(b, out);
+            }
+            Cond::Not(a) => cond_vars(a, out),
+            Cond::Exists(p) => {
+                for t in &p.params {
+                    if let Term::Var(v) = t {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+            Cond::True => {}
+        }
+    }
+    let mut out = std::collections::BTreeSet::new();
+    for a in atoms {
+        for v in a.time_vars() {
+            out.insert(v.to_owned());
+        }
+        match a {
+            GAtom::At(c, _) | GAtom::Throughout(c, _, _) | GAtom::Sometime(c, _, _) => {
+                cond_vars(c, &mut out)
+            }
+            GAtom::TimeCmp(..) => {}
+        }
+    }
+    out
+}
+
+/// Variables used in item-parameter position anywhere in the formula.
+fn collect_param_vars(g: &Guarantee) -> Vec<String> {
+    let mut out = Vec::new();
+    for atom in g.lhs.iter().chain(&g.rhs) {
+        match atom {
+            GAtom::At(c, _) | GAtom::Throughout(c, _, _) | GAtom::Sometime(c, _, _) => {
+                for (_, _, v) in cond_param_positions(c) {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            GAtom::TimeCmp(..) => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcm_core::{EventDesc, SiteId};
+    use hcm_rulelang::parse_guarantee;
+
+    fn write(tr: &mut Trace, t: u64, base: &str, v: i64) {
+        let item = ItemId::plain(base);
+        let old = tr.value_at(&item, SimTime::from_secs(t));
+        tr.push(
+            SimTime::from_secs(t),
+            SiteId::new(0),
+            EventDesc::Ws { item, old: old.clone(), new: Value::Int(v) },
+            old,
+            None,
+            None,
+        );
+    }
+
+    /// X takes 1@10, 2@20; Y copies with 2s lag.
+    fn copy_trace() -> Trace {
+        let mut tr = Trace::new();
+        tr.set_initial(ItemId::plain("X"), Value::Int(0));
+        tr.set_initial(ItemId::plain("Y"), Value::Int(0));
+        write(&mut tr, 10, "X", 1);
+        write(&mut tr, 12, "Y", 1);
+        write(&mut tr, 20, "X", 2);
+        write(&mut tr, 22, "Y", 2);
+        // Quiescence padding so `leads` has room after the last write.
+        write(&mut tr, 60, "Pad", 0);
+        tr
+    }
+
+    #[test]
+    fn y_follows_x_holds_on_copy_trace() {
+        let tr = copy_trace();
+        let g = parse_guarantee("f", "(Y = y) @ t1 => (X = y) @ t2 and t2 <= t1").unwrap();
+        let r = check_guarantee(&tr, &g, None);
+        assert!(r.holds, "{:?}", r.violations);
+        assert!(r.instantiations > 0);
+        assert_eq!(r.outcome(), GuaranteeOutcome::Holds);
+    }
+
+    #[test]
+    fn y_follows_x_fails_when_y_invents_a_value() {
+        let mut tr = copy_trace();
+        write(&mut tr, 70, "Y", 99); // X never held 99
+        let g = parse_guarantee("f", "(Y = y) @ t1 => (X = y) @ t2 and t2 <= t1").unwrap();
+        let r = check_guarantee(&tr, &g, None);
+        assert!(!r.holds);
+        assert_eq!(r.outcome(), GuaranteeOutcome::Violated);
+        assert!(!r.violations.is_empty());
+    }
+
+    #[test]
+    fn x_leads_y_holds_and_fails() {
+        let g = parse_guarantee("l", "(X = x) @ t1 => (Y = x) @ t2 and t2 >= t1").unwrap();
+        let r = check_guarantee(&copy_trace(), &g, None);
+        assert!(r.holds, "{:?}", r.violations);
+
+        // Missed update: X takes 5 but Y never does.
+        let mut tr = copy_trace();
+        write(&mut tr, 30, "X", 5);
+        write(&mut tr, 32, "X", 6);
+        write(&mut tr, 34, "Y", 6);
+        write(&mut tr, 80, "Pad", 1);
+        let r = check_guarantee(&tr, &g, None);
+        assert!(!r.holds, "value 5 was skipped by Y");
+    }
+
+    #[test]
+    fn strictly_follows_detects_reordering() {
+        let g = parse_guarantee(
+            "sf",
+            "(Y = y1) @ t1 and (Y = y2) @ t2 and t1 < t2 and y1 != y2 => \
+             (X = y1) @ t3 and (X = y2) @ t4 and t3 < t4",
+        )
+        .unwrap();
+        assert!(check_guarantee(&copy_trace(), &g, None).holds);
+
+        // Y sees the values in the opposite order.
+        let mut tr = Trace::new();
+        tr.set_initial(ItemId::plain("X"), Value::Int(0));
+        tr.set_initial(ItemId::plain("Y"), Value::Int(0));
+        write(&mut tr, 10, "X", 1);
+        write(&mut tr, 20, "X", 2);
+        write(&mut tr, 30, "Y", 2);
+        write(&mut tr, 40, "Y", 1);
+        let r = check_guarantee(&tr, &g, None);
+        assert!(!r.holds, "reordered propagation must violate (3)");
+    }
+
+    #[test]
+    fn metric_follows_depends_on_kappa() {
+        // Y lags X by 2s.
+        let tr = copy_trace();
+        let wide = parse_guarantee(
+            "m",
+            "(Y = y) @ t1 => (X = y) @ t2 and t1 - 30s < t2 and t2 <= t1",
+        )
+        .unwrap();
+        assert!(check_guarantee(&tr, &wide, None).holds);
+        // κ = 1s: at t1 = 12s, X=1 started at 10s which is ≥ 1s earlier…
+        // but X still holds 1 at t1 itself, so (X = y)@t2 with t2 = t1
+        // satisfies the bound. Make X move on so the old value expires.
+        let mut tr2 = Trace::new();
+        tr2.set_initial(ItemId::plain("X"), Value::Int(0));
+        tr2.set_initial(ItemId::plain("Y"), Value::Int(0));
+        write(&mut tr2, 10, "X", 1);
+        write(&mut tr2, 11, "X", 2); // X=1 held only 1s
+        write(&mut tr2, 20, "Y", 1); // Y reflects it 9s later
+        let narrow = parse_guarantee(
+            "m",
+            "(Y = y) @ t1 => (X = y) @ t2 and t1 - 5s < t2 and t2 <= t1",
+        )
+        .unwrap();
+        let r = check_guarantee(&tr2, &narrow, None);
+        assert!(!r.holds, "Y holds a value X last had 9s ago; κ = 5s must fail");
+        let wide2 = parse_guarantee(
+            "m",
+            "(Y = y) @ t1 => (X = y) @ t2 and t1 - 60s < t2 and t2 <= t1",
+        )
+        .unwrap();
+        assert!(check_guarantee(&tr2, &wide2, None).holds);
+    }
+
+    #[test]
+    fn monitor_guarantee_with_aux_timestamp() {
+        // Flag=true and Tb=s (ms) ⇒ X = Y throughout [s, t-2s].
+        let mut tr = Trace::new();
+        tr.set_initial(ItemId::plain("X"), Value::Int(7));
+        tr.set_initial(ItemId::plain("Y"), Value::Int(7));
+        tr.set_initial(ItemId::plain("Flag"), Value::Bool(true));
+        tr.set_initial(ItemId::plain("Tb"), Value::Int(0));
+        write(&mut tr, 50, "Pad", 0);
+        let g = parse_guarantee(
+            "mon",
+            "(Flag = true and Tb = s) @ t => (X = Y) @@ [s, t - 2s]",
+        )
+        .unwrap();
+        let r = check_guarantee(&tr, &g, None);
+        assert!(r.holds, "{:?}", r.violations);
+
+        // Now X diverges while Flag stays true: violated.
+        let mut tr2 = tr.clone();
+        write(&mut tr2, 20, "X", 9);
+        write(&mut tr2, 60, "Pad", 1);
+        let r2 = check_guarantee(&tr2, &g, None);
+        assert!(!r2.holds, "Flag=true while X≠Y must violate the monitor guarantee");
+    }
+
+    #[test]
+    fn monitor_guarantee_flag_false_is_vacuous() {
+        let mut tr = Trace::new();
+        tr.set_initial(ItemId::plain("X"), Value::Int(1));
+        tr.set_initial(ItemId::plain("Y"), Value::Int(2));
+        tr.set_initial(ItemId::plain("Flag"), Value::Bool(false));
+        tr.set_initial(ItemId::plain("Tb"), Value::Int(0));
+        write(&mut tr, 50, "Pad", 0);
+        let g = parse_guarantee(
+            "mon",
+            "(Flag = true and Tb = s) @ t => (X = Y) @@ [s, t - 2s]",
+        )
+        .unwrap();
+        let r = check_guarantee(&tr, &g, None);
+        assert_eq!(r.outcome(), GuaranteeOutcome::Vacuous);
+    }
+
+    #[test]
+    fn refint_sometime_window() {
+        // project(i) appears; salary(i) appears 10s later — within the
+        // 24h window.
+        let mut tr = Trace::new();
+        let proj = ItemId::with("project", [Value::from("e1")]);
+        let sal = ItemId::with("salary", [Value::from("e1")]);
+        tr.push(
+            SimTime::from_secs(100),
+            SiteId::new(0),
+            EventDesc::Ws { item: proj.clone(), old: None, new: Value::Int(1) },
+            None,
+            None,
+            None,
+        );
+        tr.push(
+            SimTime::from_secs(110),
+            SiteId::new(1),
+            EventDesc::Ws { item: sal.clone(), old: None, new: Value::Int(50) },
+            None,
+            None,
+            None,
+        );
+        let g = parse_guarantee(
+            "ri",
+            "exists(project(i)) @ t => exists(salary(i)) @? [t, t + 86400s]",
+        )
+        .unwrap();
+        let r = check_guarantee(&tr, &g, None);
+        assert!(r.holds, "{:?}", r.violations);
+
+        // A dangling project record with a *short* window fails.
+        let mut tr2 = Trace::new();
+        tr2.push(
+            SimTime::from_secs(100),
+            SiteId::new(0),
+            EventDesc::Ws {
+                item: ItemId::with("project", [Value::from("e2")]),
+                old: None,
+                new: Value::Int(1),
+            },
+            None,
+            None,
+            None,
+        );
+        // pad the horizon far past the window
+        tr2.push(
+            SimTime::from_secs(400),
+            SiteId::new(0),
+            EventDesc::Ws { item: ItemId::plain("Pad"), old: None, new: Value::Int(0) },
+            None,
+            None,
+            None,
+        );
+        let g2 = parse_guarantee(
+            "ri",
+            "exists(project(i)) @ t => exists(salary(i)) @? [t, t + 60s]",
+        )
+        .unwrap();
+        let r2 = check_guarantee(&tr2, &g2, None);
+        assert!(!r2.holds);
+    }
+
+    #[test]
+    fn parameterized_copy_guarantee_over_employees() {
+        let mut tr = Trace::new();
+        for (t, base, id, v) in [
+            (10u64, "salary1", "e1", 100i64),
+            (12, "salary2", "e1", 100),
+            (20, "salary1", "e2", 200),
+            (22, "salary2", "e2", 200),
+        ] {
+            let item = ItemId::with(base, [Value::from(id)]);
+            let old = tr.value_at(&item, SimTime::from_secs(t));
+            tr.push(
+                SimTime::from_secs(t),
+                SiteId::new(0),
+                EventDesc::Ws { item, old: old.clone(), new: Value::Int(v) },
+                old,
+                None,
+                None,
+            );
+        }
+        let g = parse_guarantee(
+            "pf",
+            "(salary2(n) = y) @ t1 => (salary1(n) = y) @ t2 and t2 <= t1",
+        )
+        .unwrap();
+        let r = check_guarantee(&tr, &g, None);
+        assert!(r.holds, "{:?}", r.violations);
+
+        // Cross-employee leak: salary2(e1) takes salary1(e2)'s value.
+        let mut tr2 = tr.clone();
+        let item = ItemId::with("salary2", [Value::from("e1")]);
+        let old = tr2.value_at(&item, SimTime::from_secs(30));
+        tr2.push(
+            SimTime::from_secs(30),
+            SiteId::new(0),
+            EventDesc::Ws { item, old: old.clone(), new: Value::Int(200) },
+            old,
+            None,
+            None,
+        );
+        let r2 = check_guarantee(&tr2, &g, None);
+        assert!(!r2.holds, "salary2(e1)=200 was never a value of salary1(e1)");
+    }
+
+    #[test]
+    fn unconditional_invariant() {
+        let mut tr = Trace::new();
+        tr.set_initial(ItemId::plain("X"), Value::Int(1));
+        tr.set_initial(ItemId::plain("Y"), Value::Int(5));
+        write(&mut tr, 10, "X", 3);
+        let g = parse_guarantee("inv", "(X <= Y) @ t").unwrap();
+        // No LHS: the RHS must be satisfiable (∃t). It is.
+        let r = check_guarantee(&tr, &g, None);
+        assert!(r.holds);
+    }
+
+    #[test]
+    fn empty_trace_is_vacuous() {
+        let tr = Trace::new();
+        let g = parse_guarantee("f", "(Y = y) @ t1 => (X = y) @ t2 and t2 <= t1").unwrap();
+        let r = check_guarantee(&tr, &g, None);
+        assert_eq!(r.outcome(), GuaranteeOutcome::Vacuous);
+    }
+}

@@ -1,0 +1,39 @@
+//! # hcm-checker — mechanical verification over recorded executions
+//!
+//! The paper proves guarantees by hand from interface and strategy
+//! specifications using proof rules \[CGMW94\]. This crate is the
+//! reproduction's *mechanical* counterpart: executions recorded by the
+//! simulated toolkit are **checked**, exactly, against
+//!
+//! * the seven **valid-execution properties** of Appendix A.2
+//!   ([`validity`]) — time ordering, write semantics, the frame axiom,
+//!   spontaneity, rule causality, rule obligations, and in-order
+//!   processing of related rules;
+//! * arbitrary **guarantee formulas** of the §3.3 language
+//!   ([`guarantee`]) — metric and non-metric, point (`@`), throughout
+//!   (`@@`) and sometime (`@?`) forms, with the paper's quantification
+//!   convention (left of `⇒` universal, right existential).
+//!
+//! ## Finite-trace semantics
+//!
+//! Guarantees quantify over continuous time; a recorded trace is
+//! finite. Item values change only at event instants, so every formula
+//! is piecewise-constant in each time variable with breakpoints at the
+//! *salient grid*: event times, shifted by each constant offset in the
+//! formula, plus ±1 ms neighbours (the clock is integer milliseconds).
+//! Quantifying over this grid is exact for the formula class of the
+//! paper. Liveness-flavoured guarantees ("X leads Y") are evaluated up
+//! to a *quiescence horizon*: run the workload, drain the system, then
+//! check — `EXPERIMENTS.md` records the horizon per experiment.
+
+#![warn(missing_docs)]
+
+pub mod guarantee;
+pub mod ruleset;
+pub mod state;
+pub mod validity;
+
+pub use guarantee::{GuaranteeOutcome, GuaranteeReport};
+pub use ruleset::RuleSet;
+pub use state::StateIndex;
+pub use validity::{check_validity, ValidityReport, Violation};

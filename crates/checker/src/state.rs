@@ -1,0 +1,171 @@
+//! Fast state reconstruction from a trace.
+//!
+//! The appendix's `old`/`new` interpretations are reconstructed here:
+//! [`StateIndex`] holds, per item, the sorted list of `(time, index,
+//! value)` change points, supporting O(log n) point queries and the
+//! breakpoint enumeration the guarantee evaluator's salient grid needs.
+
+use hcm_core::{ItemId, SimTime, Trace, Value};
+use std::collections::HashMap;
+
+/// Per-item change history with binary-search lookups.
+#[derive(Debug, Clone)]
+pub struct StateIndex {
+    /// item → changes as (time, trace index, value), time-ordered.
+    /// Initial values sit at `(SimTime::ZERO, usize::MAX as sentinel)`.
+    changes: HashMap<ItemId, Vec<(SimTime, usize, Value)>>,
+    end: SimTime,
+}
+
+impl StateIndex {
+    /// Build the index from a trace.
+    #[must_use]
+    pub fn build(trace: &Trace) -> Self {
+        let mut changes: HashMap<ItemId, Vec<(SimTime, usize, Value)>> = HashMap::new();
+        for item in trace.items() {
+            if let Some(v) = trace.initial(&item) {
+                changes.entry(item.clone()).or_default().push((
+                    SimTime::ZERO,
+                    usize::MAX,
+                    v.clone(),
+                ));
+            }
+        }
+        for (i, e) in trace.events().iter().enumerate() {
+            if let Some((item, v)) = e.desc.write_effect() {
+                changes.entry(item.clone()).or_default().push((e.time, i, v.clone()));
+            }
+        }
+        StateIndex { changes, end: trace.end_time() }
+    }
+
+    /// The value of `item` at `t` (`None` when underspecified).
+    /// Same-instant writes resolve to the latest by trace order,
+    /// consistent with `Trace::value_at`.
+    #[must_use]
+    pub fn value_at(&self, item: &ItemId, t: SimTime) -> Option<&Value> {
+        let ch = self.changes.get(item)?;
+        // Initial entries use sentinel index MAX but sit at time ZERO
+        // first; ordering within equal times follows insertion, which
+        // is trace order for events. partition_point finds the first
+        // entry with time > t.
+        let idx = ch.partition_point(|(time, _, _)| *time <= t);
+        if idx == 0 {
+            None
+        } else {
+            Some(&ch[idx - 1].2)
+        }
+    }
+
+    /// The change times of `item` (including the initial instant when
+    /// specified).
+    #[must_use]
+    pub fn breakpoints(&self, item: &ItemId) -> Vec<SimTime> {
+        let mut ts: Vec<SimTime> = self
+            .changes
+            .get(item)
+            .map(|ch| ch.iter().map(|(t, _, _)| *t).collect())
+            .unwrap_or_default();
+        ts.dedup();
+        ts
+    }
+
+    /// Breakpoints of every item whose base name is `base`.
+    #[must_use]
+    pub fn breakpoints_by_base(&self, base: &str) -> Vec<SimTime> {
+        let mut ts: Vec<SimTime> = self
+            .changes
+            .iter()
+            .filter(|(item, _)| item.base == base)
+            .flat_map(|(_, ch)| ch.iter().map(|(t, _, _)| *t))
+            .collect();
+        ts.sort();
+        ts.dedup();
+        ts
+    }
+
+    /// All items with a given base name.
+    #[must_use]
+    pub fn items_with_base(&self, base: &str) -> Vec<&ItemId> {
+        let mut v: Vec<&ItemId> =
+            self.changes.keys().filter(|item| item.base == base).collect();
+        v.sort();
+        v
+    }
+
+    /// The time of the last recorded event.
+    #[must_use]
+    pub fn end_time(&self) -> SimTime {
+        self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcm_core::{EventDesc, SiteId, Trace};
+
+    fn mk_trace() -> Trace {
+        let mut tr = Trace::new();
+        let x = ItemId::plain("X");
+        tr.set_initial(x.clone(), Value::Int(0));
+        for (t, v) in [(10u64, 1i64), (20, 2), (20, 3), (30, 4)] {
+            tr.push(
+                SimTime::from_secs(t),
+                SiteId::new(0),
+                EventDesc::Ws { item: x.clone(), old: None, new: Value::Int(v) },
+                None,
+                None,
+                None,
+            );
+        }
+        tr
+    }
+
+    #[test]
+    fn point_queries_match_trace() {
+        let tr = mk_trace();
+        let idx = StateIndex::build(&tr);
+        let x = ItemId::plain("X");
+        for t in [0u64, 5, 10, 15, 20, 25, 30, 99] {
+            assert_eq!(
+                idx.value_at(&x, SimTime::from_secs(t)).cloned(),
+                tr.value_at(&x, SimTime::from_secs(t)),
+                "mismatch at t={t}"
+            );
+        }
+        assert_eq!(idx.value_at(&x, SimTime::from_secs(20)), Some(&Value::Int(3)));
+        assert_eq!(idx.value_at(&ItemId::plain("Z"), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn breakpoints_and_bases() {
+        let tr = mk_trace();
+        let idx = StateIndex::build(&tr);
+        let x = ItemId::plain("X");
+        let bps = idx.breakpoints(&x);
+        assert_eq!(
+            bps,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+                SimTime::from_secs(20),
+                SimTime::from_secs(30)
+            ]
+            .into_iter()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .fold(Vec::new(), |mut acc, t| {
+                if acc.last() != Some(&t) {
+                    acc.push(t);
+                }
+                acc
+            })
+        );
+        assert_eq!(idx.breakpoints_by_base("X").len(), 4);
+        assert_eq!(idx.items_with_base("X").len(), 1);
+        assert!(idx.items_with_base("Q").is_empty());
+        assert_eq!(idx.end_time(), SimTime::from_secs(30));
+    }
+}

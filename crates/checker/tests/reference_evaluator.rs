@@ -1,0 +1,193 @@
+//! Differential validation of the guarantee evaluator.
+//!
+//! The production evaluator quantifies over the *salient grid* (event
+//! times ± formula offsets ± 1 ms). This test builds a brute-force
+//! reference that quantifies over **every** integer millisecond of a
+//! small horizon — exact by construction on the integer clock — and
+//! checks both agree on randomized traces and formulas. This is the
+//! mechanical justification for the grid optimization claimed in the
+//! crate docs.
+
+use hcm_checker::guarantee::check_guarantee;
+use hcm_core::{EventDesc, ItemId, SimTime, SiteId, Trace, Value};
+use hcm_rulelang::{parse_guarantee, Guarantee};
+use proptest::prelude::*;
+
+const HORIZON_MS: u64 = 120;
+
+/// Brute force: enumerate every (t1, t2) in [0, horizon]² of integer
+/// milliseconds for two-variable implications of the shape used by the
+/// copy guarantees. `lhs`/`rhs` are closures over the trace state.
+fn brute_force_two_var(
+    trace: &Trace,
+    lhs: impl Fn(&Trace, SimTime) -> Option<Value>,
+    rhs: impl Fn(&Trace, SimTime) -> Option<Value>,
+    time_ok: impl Fn(u64, u64) -> bool,
+) -> bool {
+    for t1 in 0..=HORIZON_MS {
+        let Some(y) = lhs(trace, SimTime::from_millis(t1)) else { continue };
+        let mut witnessed = false;
+        for t2 in 0..=HORIZON_MS {
+            if !time_ok(t1, t2) {
+                continue;
+            }
+            if rhs(trace, SimTime::from_millis(t2)).as_ref() == Some(&y) {
+                witnessed = true;
+                break;
+            }
+        }
+        if !witnessed {
+            return false;
+        }
+    }
+    true
+}
+
+fn x() -> ItemId {
+    ItemId::plain("X")
+}
+fn y() -> ItemId {
+    ItemId::plain("Y")
+}
+
+fn build_trace(
+    x_writes: &[(u64, i64)],
+    y_writes: &[(u64, i64)],
+    x0: i64,
+    y0: i64,
+) -> Trace {
+    let mut all: Vec<(u64, bool, i64)> = x_writes
+        .iter()
+        .map(|&(t, v)| (t, true, v))
+        .chain(y_writes.iter().map(|&(t, v)| (t, false, v)))
+        .collect();
+    all.sort();
+    let mut tr = Trace::new();
+    tr.set_initial(x(), Value::Int(x0));
+    tr.set_initial(y(), Value::Int(y0));
+    for (t, is_x, v) in all {
+        let item = if is_x { x() } else { y() };
+        let old = tr.value_at(&item, SimTime::from_millis(t));
+        tr.push(
+            SimTime::from_millis(t),
+            SiteId::new(0),
+            EventDesc::Ws { item, old: old.clone(), new: Value::Int(v) },
+            old,
+            None,
+            None,
+        );
+    }
+    // Pin the horizon so the evaluator and the reference agree on it.
+    tr.push(
+        SimTime::from_millis(HORIZON_MS),
+        SiteId::new(0),
+        EventDesc::Ws { item: ItemId::plain("Pad"), old: None, new: Value::Int(0) },
+        None,
+        None,
+        None,
+    );
+    tr
+}
+
+fn follows() -> Guarantee {
+    parse_guarantee("follows", "(Y = y) @ t1 => (X = y) @ t2 and t2 <= t1").unwrap()
+}
+
+fn leads() -> Guarantee {
+    parse_guarantee("leads", "(X = v) @ t1 => (Y = v) @ t2 and t2 >= t1").unwrap()
+}
+
+fn metric(kappa_ms: u64) -> Guarantee {
+    parse_guarantee(
+        "metric",
+        &format!("(Y = y) @ t1 => (X = y) @ t2 and t1 - {kappa_ms}ms < t2 and t2 <= t1"),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grid evaluator ≡ exhaustive evaluator for "follows".
+    #[test]
+    fn follows_agrees_with_brute_force(
+        x_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
+        y_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
+        x0 in 0i64..4,
+        y0 in 0i64..4,
+    ) {
+        let tr = build_trace(&x_writes, &y_writes, x0, y0);
+        let fast = check_guarantee(&tr, &follows(), None).holds;
+        let slow = brute_force_two_var(
+            &tr,
+            |t, at| t.value_at(&y(), at),
+            |t, at| t.value_at(&x(), at),
+            |t1, t2| t2 <= t1,
+        );
+        prop_assert_eq!(fast, slow, "trace:\n{}", tr);
+    }
+
+    /// Grid evaluator ≡ exhaustive evaluator for "leads".
+    #[test]
+    fn leads_agrees_with_brute_force(
+        x_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
+        y_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
+        x0 in 0i64..4,
+        y0 in 0i64..4,
+    ) {
+        let tr = build_trace(&x_writes, &y_writes, x0, y0);
+        let fast = check_guarantee(&tr, &leads(), None).holds;
+        let slow = brute_force_two_var(
+            &tr,
+            |t, at| t.value_at(&x(), at),
+            |t, at| t.value_at(&y(), at),
+            |t1, t2| t2 >= t1,
+        );
+        prop_assert_eq!(fast, slow, "trace:\n{}", tr);
+    }
+
+    /// Grid evaluator ≡ exhaustive evaluator for the metric bound, the
+    /// case that exercises offset-shifted candidates.
+    #[test]
+    fn metric_agrees_with_brute_force(
+        x_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
+        y_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
+        x0 in 0i64..4,
+        y0 in 0i64..4,
+        kappa in 1u64..HORIZON_MS,
+    ) {
+        let tr = build_trace(&x_writes, &y_writes, x0, y0);
+        let fast = check_guarantee(&tr, &metric(kappa), None).holds;
+        let slow = brute_force_two_var(
+            &tr,
+            |t, at| t.value_at(&y(), at),
+            |t, at| t.value_at(&x(), at),
+            |t1, t2| (t1 as i64 - kappa as i64) < t2 as i64 && t2 <= t1,
+        );
+        prop_assert_eq!(fast, slow, "kappa={}ms trace:\n{}", kappa, tr);
+    }
+
+    /// Throughout atoms: `(X = Y) @@ [a, b]` against per-millisecond
+    /// enumeration.
+    #[test]
+    fn throughout_agrees_with_brute_force(
+        x_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..3), 0..5),
+        y_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..3), 0..5),
+        a in 0u64..HORIZON_MS,
+        len in 0u64..HORIZON_MS,
+    ) {
+        let b = (a + len).min(HORIZON_MS);
+        let tr = build_trace(&x_writes, &y_writes, 0, 0);
+        let g = parse_guarantee(
+            "inv",
+            &format!("(X = Y) @@ [{a}ms, {b}ms]"),
+        )
+        .unwrap();
+        let fast = check_guarantee(&tr, &g, None).holds;
+        let slow = (a..=b).all(|t| {
+            tr.value_at(&x(), SimTime::from_millis(t))
+                == tr.value_at(&y(), SimTime::from_millis(t))
+        });
+        prop_assert_eq!(fast, slow, "[{}ms,{}ms] trace:\n{}", a, b, tr);
+    }
+}

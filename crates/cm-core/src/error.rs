@@ -1,0 +1,44 @@
+//! Error type shared by the framework crates.
+
+use std::fmt;
+
+/// Errors arising in the core framework and its direct consumers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A rule RHS could not be instantiated because a variable is
+    /// unbound by the matching interpretation.
+    UnboundVariable(String),
+    /// An operation referenced an item the target knows nothing about.
+    UnknownItem(String),
+    /// An operation referenced an unknown site.
+    UnknownSite(u32),
+    /// A malformed specification (details in the message).
+    Spec(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnboundVariable(v) => write!(f, "unbound rule variable `{v}`"),
+            CoreError::UnknownItem(i) => write!(f, "unknown data item `{i}`"),
+            CoreError::UnknownSite(s) => write!(f, "unknown site {s}"),
+            CoreError::Spec(msg) => write!(f, "specification error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            CoreError::UnboundVariable("b".into()).to_string(),
+            "unbound rule variable `b`"
+        );
+        assert_eq!(CoreError::UnknownSite(3).to_string(), "unknown site 3");
+    }
+}

@@ -1,0 +1,88 @@
+//! Rule identities.
+//!
+//! The rule ASTs (interface statements, strategy rules, guarantees) live
+//! in `hcm-rulelang`; events only need to *name* the rule that generated
+//! them (the `rule` component of the six-tuple). [`RuleId`] is that name
+//! and [`RuleRegistry`] maps ids back to human-readable rule text for
+//! diagnostics and for the checker's property-5/6 reports.
+
+use std::fmt;
+
+/// Identifier of a registered interface or strategy rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId(pub u32);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Registry assigning stable ids to rules and remembering their printed
+/// form. The toolkit registers every interface statement and strategy
+/// rule here during initialization.
+#[derive(Debug, Default, Clone)]
+pub struct RuleRegistry {
+    texts: Vec<String>,
+}
+
+impl RuleRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a rule, returning its id. The text is the rule's printed
+    /// form, used only for diagnostics.
+    pub fn register(&mut self, text: impl Into<String>) -> RuleId {
+        let id = RuleId(self.texts.len() as u32);
+        self.texts.push(text.into());
+        id
+    }
+
+    /// The printed form of a rule, if the id is known.
+    #[must_use]
+    pub fn text(&self, id: RuleId) -> Option<&str> {
+        self.texts.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of registered rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// `true` when no rule has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Iterate `(id, text)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &str)> {
+        self.texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (RuleId(i as u32), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = RuleRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.register("N(X, b) -> WR(Y, b) within 5s");
+        let b = reg.register("WR(Y, b) -> W(Y, b) within 1s");
+        assert_ne!(a, b);
+        assert_eq!(reg.text(a), Some("N(X, b) -> WR(Y, b) within 5s"));
+        assert_eq!(reg.text(RuleId(99)), None);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.iter().count(), 2);
+        assert_eq!(a.to_string(), "r0");
+    }
+}

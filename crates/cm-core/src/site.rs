@@ -1,0 +1,46 @@
+//! Sites.
+//!
+//! A *site* in the paper hosts one database (Raw Information Source) and,
+//! usually, a CM-Shell; a site without a shell is proxied by a shell at
+//! another site (Fig. 1, Site 3). Events "have a unique site" (§3.2);
+//! strategy-rule distribution and the in-order-delivery property
+//! (Appendix property 7) are both keyed by site.
+
+use std::fmt;
+
+/// Identifier of a site. Small and `Copy`; names are kept in the toolkit
+/// configuration, not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Convenience constructor.
+    #[must_use]
+    pub const fn new(n: u32) -> Self {
+        SiteId(n)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_order() {
+        assert_eq!(SiteId::new(3).to_string(), "site3");
+        assert!(SiteId::new(1) < SiteId::new(2));
+        assert_eq!(SiteId::new(7).index(), 7);
+    }
+}

@@ -1,0 +1,176 @@
+//! Virtual time.
+//!
+//! The paper reasons about interfaces, strategies and guarantees in
+//! global "physical" time (Appendix A: "we use time mainly for reasoning
+//! about correctness … in practice we do not require synchronized
+//! clocks"). Our reproduction runs on a simulated global clock, so the
+//! reasoning-time and the implementation-time coincide and metric
+//! guarantees (`→δ`, κ-bounds) can be *checked exactly*.
+//!
+//! Time is counted in integer **milliseconds** since the start of the
+//! simulation. The paper's examples use seconds; [`SimDuration::from_secs`]
+//! and friends keep specs readable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulated global clock (milliseconds since start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Instant `secs` seconds after the start of the simulation.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// Instant `ms` milliseconds after the start of the simulation.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Milliseconds since the start of the simulation.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the start of the simulation (truncating).
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// The duration from `earlier` to `self`, saturating at zero when
+    /// `earlier` is actually later.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// `self − d`, saturating at the start of the simulation.
+    #[must_use]
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// `secs` seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1000)
+    }
+
+    /// `ms` milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Length in milliseconds.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Length in whole seconds (truncating).
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Scale the duration by an integer factor.
+    #[must_use]
+    pub const fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when order is uncertain.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(3).as_millis(), 3000);
+        assert_eq!(SimTime::from_millis(1500).as_secs(), 1);
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_millis(500);
+        assert_eq!(t.as_millis(), 10_500);
+        assert_eq!(t - SimTime::from_secs(10), SimDuration::from_millis(500));
+        assert_eq!(
+            SimTime::from_secs(1).saturating_since(SimTime::from_secs(5)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimTime::from_secs(5).saturating_sub(SimDuration::from_secs(10)),
+            SimTime::ZERO
+        );
+        assert_eq!(SimDuration::from_secs(2).mul(3), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert_eq!(SimTime::from_millis(1234).to_string(), "t=1.234s");
+        assert_eq!(SimDuration::from_millis(50).to_string(), "0.050s");
+    }
+}

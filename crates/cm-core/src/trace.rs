@@ -1,0 +1,428 @@
+//! Executions (traces) and their recording.
+//!
+//! Appendix A defines the semantics of the rule language over
+//! *executions* — time-ordered sequences of events. [`Trace`] is a
+//! recorded execution plus the query machinery the guarantee evaluator
+//! and the validity checker need:
+//!
+//! * per-item **timelines** (step functions of value over time,
+//!   reconstructing the appendix's full `old`/`new` interpretations);
+//! * template scans;
+//! * the quiescence horizon used for finite-trace evaluation of
+//!   liveness-flavoured guarantees (see `hcm-checker`).
+//!
+//! [`TraceRecorder`] is the cheaply-clonable handle the simulation
+//! components append through.
+
+use crate::event::{Event, EventDesc, EventId};
+use crate::item::ItemId;
+use crate::rule::RuleId;
+use crate::site::SiteId;
+use crate::template::{Bindings, TemplateDesc};
+use crate::time::SimTime;
+use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A recorded execution: events in occurrence order, plus the initial
+/// values of data items (the initial interpretation).
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    events: Vec<Event>,
+    initial: HashMap<ItemId, Value>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the initial value of an item (before any event). Items
+    /// never mentioned are *underspecified*: reads return `None` and the
+    /// checker treats them as unconstrained, matching the appendix's
+    /// null-mapping interpretations.
+    pub fn set_initial(&mut self, item: ItemId, value: Value) {
+        self.initial.insert(item, value);
+    }
+
+    /// Initial value of an item, if specified.
+    #[must_use]
+    pub fn initial(&self, item: &ItemId) -> Option<&Value> {
+        self.initial.get(item)
+    }
+
+    /// Append an event, assigning its [`EventId`]. Events are expected
+    /// in nondecreasing time order; the invariant is *not* enforced
+    /// here — appendix property 1 is one of the things the validity
+    /// checker verifies, and its tests need to seed violations.
+    pub fn push(
+        &mut self,
+        time: SimTime,
+        site: SiteId,
+        desc: EventDesc,
+        old_value: Option<Value>,
+        rule: Option<RuleId>,
+        trigger: Option<EventId>,
+    ) -> EventId {
+        let id = EventId(self.events.len() as u64);
+        self.events.push(Event { id, time, site, desc, old_value, rule, trigger });
+        id
+    }
+
+    /// All events in occurrence order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Event by id.
+    #[must_use]
+    pub fn get(&self, id: EventId) -> Option<&Event> {
+        self.events.get(id.0 as usize)
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no event has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last event, or `SimTime::ZERO` for an empty trace.
+    #[must_use]
+    pub fn end_time(&self) -> SimTime {
+        self.events.last().map_or(SimTime::ZERO, |e| e.time)
+    }
+
+    /// Events matching `template`, with the matching interpretation for
+    /// each.
+    pub fn matching<'a>(
+        &'a self,
+        template: &'a TemplateDesc,
+    ) -> impl Iterator<Item = (&'a Event, Bindings)> + 'a {
+        self.events.iter().filter_map(move |e| {
+            let mut b = Bindings::new();
+            template.match_desc(&e.desc, &mut b).then_some((e, b))
+        })
+    }
+
+    /// The value of `item` at time `t` — i.e. the interpretation the
+    /// appendix would assign at `t`, restricted to `item`. Writes take
+    /// effect *at* their event time (the `new` interpretation holds from
+    /// the instant of the event onward; when several events share an
+    /// instant, the last one wins, consistent with the trace order).
+    /// Returns `None` when the item is underspecified at `t`.
+    #[must_use]
+    pub fn value_at(&self, item: &ItemId, t: SimTime) -> Option<Value> {
+        let mut current = self.initial.get(item).cloned();
+        for e in &self.events {
+            if e.time > t {
+                break;
+            }
+            if let Some((i, v)) = e.desc.write_effect() {
+                if i == item {
+                    current = Some(v.clone());
+                }
+            }
+        }
+        current
+    }
+
+    /// The full timeline of `item`: `(time, value)` change points, one
+    /// per write, preceded by the initial value at `SimTime::ZERO` when
+    /// specified. Consecutive equal values are retained (a rewrite of
+    /// the same value is still a write event).
+    #[must_use]
+    pub fn timeline(&self, item: &ItemId) -> Timeline {
+        let mut steps = Vec::new();
+        if let Some(v) = self.initial.get(item) {
+            steps.push((SimTime::ZERO, v.clone()));
+        }
+        for e in &self.events {
+            if let Some((i, v)) = e.desc.write_effect() {
+                if i == item {
+                    steps.push((e.time, v.clone()));
+                }
+            }
+        }
+        Timeline { steps }
+    }
+
+    /// Every item mentioned by any event or by the initial
+    /// interpretation, deduplicated, in deterministic order.
+    #[must_use]
+    pub fn items(&self) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = self
+            .initial
+            .keys()
+            .cloned()
+            .chain(self.events.iter().filter_map(|e| e.desc.item().cloned()))
+            .collect();
+        items.sort();
+        items.dedup();
+        items
+    }
+
+    /// The *salient instants* of the trace: every event time. Item
+    /// values are constant between consecutive salient instants, so
+    /// quantification over continuous time reduces to these points plus
+    /// one representative inside each open interval (`hcm-checker`
+    /// builds on this).
+    #[must_use]
+    pub fn salient_times(&self) -> Vec<SimTime> {
+        let mut ts: Vec<SimTime> = self.events.iter().map(|e| e.time).collect();
+        ts.push(SimTime::ZERO);
+        ts.sort();
+        ts.dedup();
+        ts
+    }
+
+    /// Count events per descriptor tag — cheap instrumentation for the
+    /// message-reduction experiments (E8/E9).
+    #[must_use]
+    pub fn tag_counts(&self) -> HashMap<&'static str, usize> {
+        let mut m = HashMap::new();
+        for e in &self.events {
+            *m.entry(e.desc.tag()).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Step function of one item's value over time.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    steps: Vec<(SimTime, Value)>,
+}
+
+impl Timeline {
+    /// The change points `(time, value)` in time order.
+    #[must_use]
+    pub fn steps(&self) -> &[(SimTime, Value)] {
+        &self.steps
+    }
+
+    /// Value at time `t` (last change point at or before `t`).
+    #[must_use]
+    pub fn at(&self, t: SimTime) -> Option<&Value> {
+        self.steps
+            .iter()
+            .take_while(|(time, _)| *time <= t)
+            .last()
+            .map(|(_, v)| v)
+    }
+
+    /// Distinct values taken, in first-occurrence order.
+    #[must_use]
+    pub fn values_taken(&self) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for (_, v) in &self.steps {
+            if !seen.contains(v) {
+                seen.push(v.clone());
+            }
+        }
+        seen
+    }
+}
+
+/// Shared, cheaply clonable handle to a trace under construction. The
+/// simulation is single-threaded (deterministic), so `Rc<RefCell<…>>`
+/// suffices; the recorded [`Trace`] is extracted once at the end.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    inner: Rc<RefCell<Trace>>,
+}
+
+impl TraceRecorder {
+    /// A recorder over an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an initial item value. See [`Trace::set_initial`].
+    pub fn set_initial(&self, item: ItemId, value: Value) {
+        self.inner.borrow_mut().set_initial(item, value);
+    }
+
+    /// Append an event. See [`Trace::push`].
+    pub fn record(
+        &self,
+        time: SimTime,
+        site: SiteId,
+        desc: EventDesc,
+        old_value: Option<Value>,
+        rule: Option<RuleId>,
+        trigger: Option<EventId>,
+    ) -> EventId {
+        self.inner.borrow_mut().push(time, site, desc, old_value, rule, trigger)
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Snapshot the trace recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Trace {
+        self.inner.borrow().clone()
+    }
+
+    /// Run `f` with read access to the trace without cloning it.
+    pub fn with<R>(&self, f: impl FnOnce(&Trace) -> R) -> R {
+        f(&self.inner.borrow())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Term;
+    use crate::ItemPattern;
+
+    fn x() -> ItemId {
+        ItemId::plain("X")
+    }
+
+    fn write(trace: &mut Trace, t: u64, v: i64, old: Option<i64>) {
+        trace.push(
+            SimTime::from_secs(t),
+            SiteId::new(0),
+            EventDesc::Ws { item: x(), old: old.map(Value::Int), new: Value::Int(v) },
+            old.map(Value::Int),
+            None,
+            None,
+        );
+    }
+
+    #[test]
+    fn value_at_follows_writes() {
+        let mut tr = Trace::new();
+        tr.set_initial(x(), Value::Int(0));
+        write(&mut tr, 10, 1, Some(0));
+        write(&mut tr, 20, 2, Some(1));
+        assert_eq!(tr.value_at(&x(), SimTime::from_secs(5)), Some(Value::Int(0)));
+        assert_eq!(tr.value_at(&x(), SimTime::from_secs(10)), Some(Value::Int(1)));
+        assert_eq!(tr.value_at(&x(), SimTime::from_secs(15)), Some(Value::Int(1)));
+        assert_eq!(tr.value_at(&x(), SimTime::from_secs(99)), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn underspecified_item_reads_none() {
+        let tr = Trace::new();
+        assert_eq!(tr.value_at(&x(), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn timeline_and_values_taken() {
+        let mut tr = Trace::new();
+        tr.set_initial(x(), Value::Int(0));
+        write(&mut tr, 10, 1, Some(0));
+        write(&mut tr, 20, 1, Some(1)); // rewrite of same value kept
+        write(&mut tr, 30, 2, Some(1));
+        let tl = tr.timeline(&x());
+        assert_eq!(tl.steps().len(), 4);
+        assert_eq!(tl.at(SimTime::from_secs(25)), Some(&Value::Int(1)));
+        assert_eq!(
+            tl.values_taken(),
+            vec![Value::Int(0), Value::Int(1), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn matching_scans() {
+        let mut tr = Trace::new();
+        write(&mut tr, 1, 5, None);
+        tr.push(
+            SimTime::from_secs(2),
+            SiteId::new(1),
+            EventDesc::N { item: x(), value: Value::Int(5) },
+            None,
+            Some(RuleId(0)),
+            Some(EventId(0)),
+        );
+        let tmpl = TemplateDesc::N { item: ItemPattern::plain("X"), value: Term::var("b") };
+        let hits: Vec<_> = tr.matching(&tmpl).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.get("b"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn salient_times_sorted_dedup() {
+        let mut tr = Trace::new();
+        write(&mut tr, 5, 1, None);
+        write(&mut tr, 5, 2, Some(1));
+        write(&mut tr, 9, 3, Some(2));
+        assert_eq!(
+            tr.salient_times(),
+            vec![SimTime::ZERO, SimTime::from_secs(5), SimTime::from_secs(9)]
+        );
+    }
+
+    #[test]
+    fn same_instant_last_write_wins() {
+        let mut tr = Trace::new();
+        write(&mut tr, 5, 1, None);
+        write(&mut tr, 5, 2, Some(1));
+        assert_eq!(tr.value_at(&x(), SimTime::from_secs(5)), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn recorder_round_trip() {
+        let rec = TraceRecorder::new();
+        assert!(rec.is_empty());
+        rec.set_initial(x(), Value::Int(0));
+        let id = rec.record(
+            SimTime::from_secs(1),
+            SiteId::new(0),
+            EventDesc::Rr { item: x() },
+            None,
+            None,
+            None,
+        );
+        assert_eq!(id, EventId(0));
+        assert_eq!(rec.len(), 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.initial(&x()), Some(&Value::Int(0)));
+        rec.with(|t| assert_eq!(t.len(), 1));
+    }
+
+    #[test]
+    fn items_and_tag_counts() {
+        let mut tr = Trace::new();
+        tr.set_initial(ItemId::plain("Y"), Value::Int(0));
+        write(&mut tr, 1, 5, None);
+        write(&mut tr, 2, 6, Some(5));
+        let items = tr.items();
+        assert_eq!(items, vec![x(), ItemId::plain("Y")]);
+        assert_eq!(tr.tag_counts().get("Ws"), Some(&2));
+        assert_eq!(tr.end_time(), SimTime::from_secs(2));
+    }
+}

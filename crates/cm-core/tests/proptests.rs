@@ -1,0 +1,166 @@
+//! Property-based tests for the core vocabulary: value ordering laws,
+//! template-matching round trips, and trace/timeline agreement.
+
+use hcm_core::{
+    Bindings, EventDesc, ItemId, ItemPattern, SimTime, SiteId, TemplateDesc, Term, Trace, Value,
+};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1.0e6f64..1.0e6).prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::from),
+    ]
+}
+
+proptest! {
+    /// `Ord` on Value is a total order: antisymmetric and transitive.
+    #[test]
+    fn value_ord_laws(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry via consistency with reversal.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity.
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        // Eq consistency: cmp == Equal implies ==.
+        if a.cmp(&b) == Ordering::Equal {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// Hash agrees with equality (Int/Float cross-equality included).
+    #[test]
+    fn value_hash_eq_consistent(i in -1000i64..1000) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let int = Value::Int(i);
+        let float = Value::Float(i as f64);
+        prop_assert_eq!(&int, &float);
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        prop_assert_eq!(h(&int), h(&float));
+    }
+
+    /// Arithmetic: (a + b) - b == a for in-range integers.
+    #[test]
+    fn int_add_sub_roundtrip(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let va = Value::Int(a);
+        let vb = Value::Int(b);
+        let back = va.add(&vb).unwrap().sub(&vb).unwrap();
+        prop_assert_eq!(back, va);
+    }
+
+    /// Instantiating a template under bindings and matching the result
+    /// recovers consistent bindings (match ∘ instantiate = id on the
+    /// used variables).
+    #[test]
+    fn template_instantiate_match_roundtrip(
+        param in arb_value().prop_filter("param must be concrete", |v| v.exists()),
+        value in arb_value(),
+    ) {
+        let tmpl = TemplateDesc::N {
+            item: ItemPattern::with("x", [Term::var("n")]),
+            value: Term::var("b"),
+        };
+        let mut bindings = Bindings::new();
+        bindings.bind("n", param.clone());
+        bindings.bind("b", value.clone());
+        let event = tmpl.instantiate(&bindings).expect("fully bound");
+        let mut recovered = Bindings::new();
+        prop_assert!(tmpl.match_desc(&event, &mut recovered));
+        prop_assert_eq!(recovered.get("n"), Some(&param));
+        prop_assert_eq!(recovered.get("b"), Some(&value));
+    }
+
+    /// A template with a repeated variable only matches events whose
+    /// positions agree.
+    #[test]
+    fn repeated_variable_consistency(a in arb_value(), b in arb_value()) {
+        let tmpl = TemplateDesc::Custom {
+            name: "pair".into(),
+            args: vec![Term::var("v"), Term::var("v")],
+        };
+        let event = EventDesc::Custom { name: "pair".into(), args: vec![a.clone(), b.clone()] };
+        let mut bind = Bindings::new();
+        let matched = tmpl.match_desc(&event, &mut bind);
+        prop_assert_eq!(matched, a == b);
+        if !matched {
+            prop_assert!(bind.is_empty(), "failed match must roll back");
+        }
+    }
+
+    /// Trace::value_at agrees with Timeline::at at every queried time,
+    /// for arbitrary write sequences.
+    #[test]
+    fn trace_and_timeline_agree(
+        writes in prop::collection::vec((0u64..500, -50i64..50), 0..40),
+        queries in prop::collection::vec(0u64..600, 0..20),
+        initial in proptest::option::of(-50i64..50),
+    ) {
+        let mut writes = writes;
+        writes.sort_by_key(|(t, _)| *t);
+        let item = ItemId::plain("X");
+        let mut trace = Trace::new();
+        if let Some(v) = initial {
+            trace.set_initial(item.clone(), Value::Int(v));
+        }
+        for (t, v) in &writes {
+            let old = trace.value_at(&item, SimTime::from_millis(*t));
+            trace.push(
+                SimTime::from_millis(*t),
+                SiteId::new(0),
+                EventDesc::Ws { item: item.clone(), old: old.clone(), new: Value::Int(*v) },
+                old,
+                None,
+                None,
+            );
+        }
+        let tl = trace.timeline(&item);
+        for q in queries {
+            let t = SimTime::from_millis(q);
+            prop_assert_eq!(trace.value_at(&item, t), tl.at(t).cloned());
+        }
+    }
+
+    /// Bindings rollback restores exactly the checkpointed state.
+    #[test]
+    fn bindings_rollback_exact(
+        names in prop::collection::vec("[a-e]", 1..8),
+        cut in 0usize..8,
+    ) {
+        let mut b = Bindings::new();
+        let mut inserted = Vec::new();
+        let cut = cut.min(names.len());
+        let mut checkpoint = b.checkpoint();
+        for (i, n) in names.iter().enumerate() {
+            if i == cut {
+                checkpoint = b.checkpoint();
+            }
+            if b.get(n).is_none() {
+                inserted.push((n.clone(), i));
+            }
+            b.bind(n.clone(), Value::Int(i as i64));
+        }
+        if cut == names.len() {
+            checkpoint = b.checkpoint();
+        }
+        b.rollback(checkpoint);
+        // Every name first inserted before the cut is still present;
+        // every name first inserted at/after the cut is gone.
+        for (n, first) in inserted {
+            if first < cut {
+                prop_assert!(b.get(&n).is_some());
+            } else {
+                prop_assert!(b.get(&n).is_none());
+            }
+        }
+    }
+}

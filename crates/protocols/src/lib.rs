@@ -1,0 +1,30 @@
+//! # hcm-protocols — constraint-management strategies beyond single rules
+//!
+//! The paper's §6 scenarios exercise the framework on strategies whose
+//! control logic goes past what a single rule expresses. Each module
+//! here implements one of them on top of the toolkit (translators, CMI,
+//! trace recording), plus the strict-consistency baseline the paper
+//! positions itself against:
+//!
+//! * [`demarcation`] — the Demarcation Protocol (§6.1) for `X ≤ Y`
+//!   with configurable limit-change (slack-grant) policies, built on
+//!   the relational store's local CHECK constraints.
+//! * [`tpc`] — a two-phase-commit global-transaction baseline: what
+//!   the paper's loosely coupled systems *cannot* have, for
+//!   quantitative comparison (latency, availability under failure).
+//! * [`monitor`] — the §6.3 monitor-only scenario: two notify-only
+//!   databases, auxiliary `Flag`/`Tb` data, and the
+//!   `(Flag ∧ Tb = s)@t ⇒ (X = Y)@@[s, t−κ]` guarantee. Also
+//!   demonstrates Fig. 1's "CM-Shell serving several sites".
+//! * [`refint`] — the §6.2 referential-integrity scenario with
+//!   end-of-day repair and a bounded violation window.
+//! * [`periodic`] — the §6.4 banking scenario: end-of-day batch
+//!   propagation and a periodic guarantee.
+
+#![warn(missing_docs)]
+
+pub mod demarcation;
+pub mod monitor;
+pub mod periodic;
+pub mod refint;
+pub mod tpc;

@@ -1,0 +1,199 @@
+//! A key-value store with a watch facility.
+//!
+//! Stands in for the Computer Science Department's custom personnel
+//! database ("lookup", §4.3): a typed get/put API plus *watch*
+//! registrations — the native facility a translator uses to offer a
+//! Notify Interface without SQL triggers. Watch reports are buffered in
+//! the store and drained by the owner, mirroring how the relational
+//! engine exposes trigger firings.
+
+use crate::RisError;
+use hcm_core::Value;
+use std::collections::BTreeMap;
+
+/// A change observed by a watch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchEvent {
+    /// The watch registration that matched.
+    pub watch_id: u32,
+    /// Key affected.
+    pub key: String,
+    /// Previous value (`None` when the key was absent).
+    pub old: Option<Value>,
+    /// New value (`None` when the key was deleted).
+    pub new: Option<Value>,
+}
+
+#[derive(Debug, Clone)]
+struct Watch {
+    id: u32,
+    prefix: String,
+}
+
+/// The key-value store.
+#[derive(Debug, Default)]
+pub struct KvStore {
+    map: BTreeMap<String, Value>,
+    watches: Vec<Watch>,
+    pending: Vec<WatchEvent>,
+    next_watch: u32,
+}
+
+impl KvStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get a value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.map.get(key)
+    }
+
+    /// Put a value, returning the previous one.
+    pub fn put(&mut self, key: &str, value: Value) -> Option<Value> {
+        let old = self.map.insert(key.to_owned(), value.clone());
+        self.notify(key, old.clone(), Some(value));
+        old
+    }
+
+    /// Delete a key.
+    pub fn delete(&mut self, key: &str) -> Result<Value, RisError> {
+        match self.map.remove(key) {
+            Some(old) => {
+                self.notify(key, Some(old.clone()), None);
+                Ok(old)
+            }
+            None => Err(RisError::NotFound(format!("key `{key}`"))),
+        }
+    }
+
+    /// Compare-and-swap: set `key` to `new` only if its current value
+    /// equals `expected`. Returns whether the swap happened.
+    pub fn cas(&mut self, key: &str, expected: &Value, new: Value) -> bool {
+        if self.map.get(key) == Some(expected) {
+            self.put(key, new);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Register a watch on all keys with the given prefix; returns the
+    /// watch id carried by matching [`WatchEvent`]s.
+    pub fn watch_prefix(&mut self, prefix: &str) -> u32 {
+        let id = self.next_watch;
+        self.next_watch += 1;
+        self.watches.push(Watch { id, prefix: prefix.to_owned() });
+        id
+    }
+
+    /// Remove a watch.
+    pub fn unwatch(&mut self, id: u32) {
+        self.watches.retain(|w| w.id != id);
+    }
+
+    /// Drain buffered watch events.
+    pub fn take_events(&mut self) -> Vec<WatchEvent> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// All keys (sorted).
+    #[must_use]
+    pub fn keys(&self) -> Vec<&str> {
+        self.map.keys().map(String::as_str).collect()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn notify(&mut self, key: &str, old: Option<Value>, new: Option<Value>) {
+        for w in &self.watches {
+            if key.starts_with(&w.prefix) {
+                self.pending.push(WatchEvent {
+                    watch_id: w.id,
+                    key: key.to_owned(),
+                    old: old.clone(),
+                    new: new.clone(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = KvStore::new();
+        assert!(kv.is_empty());
+        assert_eq!(kv.put("phone/ann", Value::from("555-0100")), None);
+        assert_eq!(kv.get("phone/ann"), Some(&Value::from("555-0100")));
+        assert_eq!(
+            kv.put("phone/ann", Value::from("555-0200")),
+            Some(Value::from("555-0100"))
+        );
+        assert_eq!(kv.delete("phone/ann").unwrap(), Value::from("555-0200"));
+        assert!(kv.delete("phone/ann").is_err());
+    }
+
+    #[test]
+    fn watches_match_prefix_and_drain() {
+        let mut kv = KvStore::new();
+        let w = kv.watch_prefix("phone/");
+        kv.put("phone/ann", Value::from("1"));
+        kv.put("office/ann", Value::from("b12"));
+        kv.put("phone/ann", Value::from("2"));
+        kv.delete("phone/ann").unwrap();
+        let events = kv.take_events();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.watch_id == w));
+        assert_eq!(events[0].old, None);
+        assert_eq!(events[1].old, Some(Value::from("1")));
+        assert_eq!(events[2].new, None);
+        assert!(kv.take_events().is_empty());
+    }
+
+    #[test]
+    fn unwatch_stops_events() {
+        let mut kv = KvStore::new();
+        let w = kv.watch_prefix("");
+        kv.unwatch(w);
+        kv.put("k", Value::Int(1));
+        assert!(kv.take_events().is_empty());
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mut kv = KvStore::new();
+        kv.put("k", Value::Int(1));
+        kv.watch_prefix("k");
+        kv.take_events();
+        assert!(kv.cas("k", &Value::Int(1), Value::Int(2)));
+        assert!(!kv.cas("k", &Value::Int(1), Value::Int(3)));
+        assert_eq!(kv.get("k"), Some(&Value::Int(2)));
+        assert_eq!(kv.take_events().len(), 1); // only the successful swap
+    }
+
+    #[test]
+    fn keys_sorted() {
+        let mut kv = KvStore::new();
+        kv.put("b", Value::Int(1));
+        kv.put("a", Value::Int(2));
+        assert_eq!(kv.keys(), vec!["a", "b"]);
+        assert_eq!(kv.len(), 2);
+    }
+}

@@ -1,0 +1,645 @@
+//! Parser for the engine's SQL subset.
+//!
+//! Grammar (keywords case-insensitive, identifiers case-sensitive):
+//!
+//! ```text
+//! CREATE TABLE t (c1, c2, …)
+//! DROP TABLE t
+//! INSERT INTO t VALUES (v1, v2, …)
+//! INSERT INTO t (c1, c2) VALUES (v1, v2)
+//! SELECT c1, c2 FROM t [WHERE c = v [AND …]] [ORDER BY c [DESC]] [LIMIT n]
+//! SELECT * FROM t [WHERE …]
+//! SELECT COUNT(*) | SUM(c) | MIN(c) | MAX(c) | AVG(c) FROM t [WHERE …]
+//! UPDATE t SET c = v [, c = v …] [WHERE …]
+//! DELETE FROM t [WHERE …]
+//! ```
+//!
+//! Literals: integers, floats, `'single-quoted strings'`, `NULL`,
+//! `TRUE`, `FALSE`. Predicates compare a column to a literal with
+//! `=`, `!=`/`<>`, `<`, `<=`, `>`, `>=`, joined by `AND`.
+
+use crate::RisError;
+use hcm_core::Value;
+
+/// Comparison operators usable in WHERE clauses and CHECK constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl SqlOp {
+    /// Apply the comparison; incomparable pairs are simply unequal /
+    /// false (SQL three-valued logic collapsed to false, which is what
+    /// a predicate needs).
+    #[must_use]
+    pub fn apply(self, a: &Value, b: &Value) -> bool {
+        match self {
+            SqlOp::Eq => a == b,
+            SqlOp::Ne => a != b,
+            _ => match a.compare(b) {
+                Some(ord) => match self {
+                    SqlOp::Lt => ord.is_lt(),
+                    SqlOp::Le => ord.is_le(),
+                    SqlOp::Gt => ord.is_gt(),
+                    SqlOp::Ge => ord.is_ge(),
+                    SqlOp::Eq | SqlOp::Ne => unreachable!(),
+                },
+                None => false,
+            },
+        }
+    }
+}
+
+/// One `column op literal` conjunct of a WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Column name.
+    pub column: String,
+    /// Operator.
+    pub op: SqlOp,
+    /// Literal operand.
+    pub value: Value,
+}
+
+/// An aggregate function in a SELECT head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `AVG(col)`.
+    Avg,
+}
+
+/// `ORDER BY` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    /// Sort column.
+    pub column: String,
+    /// Descending order when set.
+    pub desc: bool,
+}
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `CREATE TABLE`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names.
+        columns: Vec<String>,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `INSERT INTO`.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Explicit column list, if given.
+        columns: Option<Vec<String>>,
+        /// Values in declaration order.
+        values: Vec<Value>,
+    },
+    /// `SELECT`.
+    Select {
+        /// Table name.
+        table: String,
+        /// Projected columns (`["*"]` for all).
+        columns: Vec<String>,
+        /// WHERE conjuncts (empty = all rows).
+        predicate: Vec<Comparison>,
+        /// Optional `ORDER BY`.
+        order: Option<OrderBy>,
+        /// Optional `LIMIT`.
+        limit: Option<usize>,
+    },
+    /// `SELECT <agg>(…)`.
+    SelectAggregate {
+        /// Table name.
+        table: String,
+        /// The aggregate function.
+        agg: Aggregate,
+        /// Aggregated column (ignored for COUNT).
+        column: Option<String>,
+        /// WHERE conjuncts.
+        predicate: Vec<Comparison>,
+    },
+    /// `UPDATE`.
+    Update {
+        /// Table name.
+        table: String,
+        /// `SET` assignments.
+        assignments: Vec<(String, Value)>,
+        /// WHERE conjuncts.
+        predicate: Vec<Comparison>,
+    },
+    /// `DELETE`.
+    Delete {
+        /// Table name.
+        table: String,
+        /// WHERE conjuncts.
+        predicate: Vec<Comparison>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum T {
+    Ident(String),
+    Lit(Value),
+    LParen,
+    RParen,
+    Comma,
+    Op(SqlOp),
+    Star,
+}
+
+fn bad(msg: impl Into<String>) -> RisError {
+    RisError::BadCommand(msg.into())
+}
+
+fn tokenize(src: &str) -> Result<Vec<T>, RisError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                out.push(T::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(T::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(T::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(T::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(T::Op(SqlOp::Eq));
+                i += 1;
+            }
+            '!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(T::Op(SqlOp::Ne));
+                i += 2;
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(T::Op(SqlOp::Le));
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'>') {
+                    out.push(T::Op(SqlOp::Ne));
+                    i += 2;
+                } else {
+                    out.push(T::Op(SqlOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(T::Op(SqlOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(T::Op(SqlOp::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(bad("unterminated string literal"));
+                }
+                out.push(T::Lit(Value::Str(src[start..j].to_owned())));
+                i = j + 1;
+            }
+            _ if c.is_ascii_digit()
+                || (c == '-' && b.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    if b[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v = if is_float {
+                    Value::Float(text.parse().map_err(|e| bad(format!("bad float: {e}")))?)
+                } else {
+                    Value::Int(text.parse().map_err(|e| bad(format!("bad integer: {e}")))?)
+                };
+                out.push(T::Lit(v));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match word.to_ascii_uppercase().as_str() {
+                    "NULL" => out.push(T::Lit(Value::Null)),
+                    "TRUE" => out.push(T::Lit(Value::Bool(true))),
+                    "FALSE" => out.push(T::Lit(Value::Bool(false))),
+                    _ => out.push(T::Ident(word.to_owned())),
+                }
+            }
+            other => return Err(bad(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<T>,
+    pos: usize,
+}
+
+impl P {
+    fn next(&mut self) -> Option<T> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek(&self) -> Option<&T> {
+        self.toks.get(self.pos)
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), RisError> {
+        match self.next() {
+            Some(T::Ident(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(bad(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(T::Ident(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, RisError> {
+        match self.next() {
+            Some(T::Ident(w)) => Ok(w),
+            other => Err(bad(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, RisError> {
+        match self.next() {
+            Some(T::Lit(v)) => Ok(v),
+            other => Err(bad(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, t: &T) -> Result<(), RisError> {
+        match self.next() {
+            Some(x) if x == *t => Ok(()),
+            other => Err(bad(format!("expected {t:?}, found {other:?}"))),
+        }
+    }
+
+    fn end(&self) -> Result<(), RisError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing input after command"))
+        }
+    }
+
+    fn where_clause(&mut self) -> Result<Vec<Comparison>, RisError> {
+        if !self.is_keyword("WHERE") {
+            return Ok(Vec::new());
+        }
+        self.pos += 1;
+        let mut preds = Vec::new();
+        loop {
+            let column = self.ident()?;
+            let op = match self.next() {
+                Some(T::Op(op)) => op,
+                other => return Err(bad(format!("expected comparison, found {other:?}"))),
+            };
+            let value = self.literal()?;
+            preds.push(Comparison { column, op, value });
+            if self.is_keyword("AND") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(preds)
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, RisError> {
+        self.expect(&T::LParen)?;
+        let mut cols = Vec::new();
+        loop {
+            cols.push(self.ident()?);
+            match self.next() {
+                Some(T::Comma) => continue,
+                Some(T::RParen) => break,
+                other => return Err(bad(format!("expected `,` or `)`, found {other:?}"))),
+            }
+        }
+        Ok(cols)
+    }
+
+    fn literal_list(&mut self) -> Result<Vec<Value>, RisError> {
+        self.expect(&T::LParen)?;
+        let mut vals = Vec::new();
+        loop {
+            vals.push(self.literal()?);
+            match self.next() {
+                Some(T::Comma) => continue,
+                Some(T::RParen) => break,
+                other => return Err(bad(format!("expected `,` or `)`, found {other:?}"))),
+            }
+        }
+        Ok(vals)
+    }
+}
+
+/// Parse one command.
+pub fn parse_command(src: &str) -> Result<Command, RisError> {
+    let mut p = P { toks: tokenize(src)?, pos: 0 };
+    let head = p.ident()?;
+    let cmd = match head.to_ascii_uppercase().as_str() {
+        "CREATE" => {
+            p.keyword("TABLE")?;
+            let name = p.ident()?;
+            let columns = p.ident_list()?;
+            Command::CreateTable { name, columns }
+        }
+        "DROP" => {
+            p.keyword("TABLE")?;
+            let name = p.ident()?;
+            Command::DropTable { name }
+        }
+        "INSERT" => {
+            p.keyword("INTO")?;
+            let table = p.ident()?;
+            let columns = if matches!(p.peek(), Some(T::LParen)) {
+                Some(p.ident_list()?)
+            } else {
+                None
+            };
+            p.keyword("VALUES")?;
+            let values = p.literal_list()?;
+            Command::Insert { table, columns, values }
+        }
+        "SELECT" => {
+            // Aggregate head? `IDENT (` with an aggregate name.
+            let agg = match p.peek() {
+                Some(T::Ident(w)) => match w.to_ascii_uppercase().as_str() {
+                    "COUNT" => Some(Aggregate::Count),
+                    "SUM" => Some(Aggregate::Sum),
+                    "MIN" => Some(Aggregate::Min),
+                    "MAX" => Some(Aggregate::Max),
+                    "AVG" => Some(Aggregate::Avg),
+                    _ => None,
+                },
+                _ => None,
+            };
+            let agg = match agg {
+                Some(a) if p.toks.get(p.pos + 1) == Some(&T::LParen) => {
+                    p.pos += 2; // aggregate name + `(`
+                    let column = if a == Aggregate::Count {
+                        if matches!(p.peek(), Some(T::Star)) {
+                            p.pos += 1;
+                            None
+                        } else {
+                            Some(p.ident()?)
+                        }
+                    } else {
+                        Some(p.ident()?)
+                    };
+                    p.expect(&T::RParen)?;
+                    Some((a, column))
+                }
+                _ => None,
+            };
+            if let Some((agg, column)) = agg {
+                p.keyword("FROM")?;
+                let table = p.ident()?;
+                let predicate = p.where_clause()?;
+                Command::SelectAggregate { table, agg, column, predicate }
+            } else {
+                let mut columns = Vec::new();
+                if matches!(p.peek(), Some(T::Star)) {
+                    p.pos += 1;
+                    columns.push("*".to_owned());
+                } else {
+                    loop {
+                        columns.push(p.ident()?);
+                        if matches!(p.peek(), Some(T::Comma)) {
+                            p.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                p.keyword("FROM")?;
+                let table = p.ident()?;
+                let predicate = p.where_clause()?;
+                let order = if p.is_keyword("ORDER") {
+                    p.pos += 1;
+                    p.keyword("BY")?;
+                    let column = p.ident()?;
+                    let desc = if p.is_keyword("DESC") {
+                        p.pos += 1;
+                        true
+                    } else {
+                        if p.is_keyword("ASC") {
+                            p.pos += 1;
+                        }
+                        false
+                    };
+                    Some(OrderBy { column, desc })
+                } else {
+                    None
+                };
+                let limit = if p.is_keyword("LIMIT") {
+                    p.pos += 1;
+                    match p.next() {
+                        Some(T::Lit(Value::Int(n))) if n >= 0 => Some(n as usize),
+                        other => return Err(bad(format!("expected LIMIT count, found {other:?}"))),
+                    }
+                } else {
+                    None
+                };
+                Command::Select { table, columns, predicate, order, limit }
+            }
+        }
+        "UPDATE" => {
+            let table = p.ident()?;
+            p.keyword("SET")?;
+            let mut assignments = Vec::new();
+            loop {
+                let col = p.ident()?;
+                match p.next() {
+                    Some(T::Op(SqlOp::Eq)) => {}
+                    other => return Err(bad(format!("expected `=`, found {other:?}"))),
+                }
+                let val = p.literal()?;
+                assignments.push((col, val));
+                if matches!(p.peek(), Some(T::Comma)) {
+                    p.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let predicate = p.where_clause()?;
+            Command::Update { table, assignments, predicate }
+        }
+        "DELETE" => {
+            p.keyword("FROM")?;
+            let table = p.ident()?;
+            let predicate = p.where_clause()?;
+            Command::Delete { table, predicate }
+        }
+        other => return Err(bad(format!("unknown command `{other}`"))),
+    };
+    p.end()?;
+    Ok(cmd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create() {
+        let c = parse_command("CREATE TABLE t (a, b)").unwrap();
+        assert_eq!(
+            c,
+            Command::CreateTable { name: "t".into(), columns: vec!["a".into(), "b".into()] }
+        );
+    }
+
+    #[test]
+    fn parses_insert_variants() {
+        let c = parse_command("INSERT INTO t VALUES (1, 'x', NULL)").unwrap();
+        match c {
+            Command::Insert { columns: None, values, .. } => {
+                assert_eq!(values, vec![Value::Int(1), Value::from("x"), Value::Null]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let c = parse_command("insert into t (b, a) values (2.5, TRUE)").unwrap();
+        match c {
+            Command::Insert { columns: Some(cols), values, .. } => {
+                assert_eq!(cols, vec!["b".to_string(), "a".to_string()]);
+                assert_eq!(values, vec![Value::Float(2.5), Value::Bool(true)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_with_where() {
+        let c = parse_command("SELECT salary FROM employees WHERE empid = 'e1' AND salary >= 0")
+            .unwrap();
+        match c {
+            Command::Select { table, columns, predicate, .. } => {
+                assert_eq!(table, "employees");
+                assert_eq!(columns, vec!["salary".to_string()]);
+                assert_eq!(predicate.len(), 2);
+                assert_eq!(predicate[1].op, SqlOp::Ge);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_star() {
+        let c = parse_command("SELECT * FROM t").unwrap();
+        assert!(matches!(c, Command::Select { ref columns, .. } if columns == &["*".to_string()]));
+    }
+
+    #[test]
+    fn parses_update_lowercase() {
+        // The exact command template from the paper's CM-RID (§4.2.1).
+        let c = parse_command("update employees set salary = 90000 where empid = 'e42'").unwrap();
+        match c {
+            Command::Update { table, assignments, predicate } => {
+                assert_eq!(table, "employees");
+                assert_eq!(assignments, vec![("salary".to_string(), Value::Int(90000))]);
+                assert_eq!(predicate[0].value, Value::from("e42"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete_and_ne_spellings() {
+        let c = parse_command("DELETE FROM t WHERE a != 1 AND b <> 2").unwrap();
+        match c {
+            Command::Delete { predicate, .. } => {
+                assert_eq!(predicate[0].op, SqlOp::Ne);
+                assert_eq!(predicate[1].op, SqlOp::Ne);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let c = parse_command("INSERT INTO t VALUES (-5, -2.5)").unwrap();
+        match c {
+            Command::Insert { values, .. } => {
+                assert_eq!(values, vec![Value::Int(-5), Value::Float(-2.5)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sql_op_apply() {
+        assert!(SqlOp::Le.apply(&Value::Int(3), &Value::Int(3)));
+        assert!(SqlOp::Ne.apply(&Value::Int(3), &Value::from("x")));
+        assert!(!SqlOp::Lt.apply(&Value::from("x"), &Value::Int(3)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_command("TRUNCATE TABLE t").is_err());
+        assert!(parse_command("SELECT FROM t").is_err());
+        assert!(parse_command("INSERT INTO t VALUES (1) trailing").is_err());
+        assert!(parse_command("UPDATE t SET a > 1").is_err());
+        assert!(parse_command("SELECT a FROM t WHERE a").is_err());
+        assert!(parse_command("INSERT INTO t VALUES ('unterminated)").is_err());
+        assert!(parse_command("SELECT a FROM t WHERE a = $b").is_err());
+    }
+}

@@ -1,0 +1,788 @@
+//! Recursive-descent parser for interface statements, strategy rules,
+//! conditions, and guarantee formulas.
+
+use crate::ast::{
+    CmpOp, Cond, Expr, GAtom, Guarantee, InterfaceStmt, RhsStep, StrategyRule, TimeExpr,
+};
+use crate::token::{lex, Tok};
+use hcm_core::{ItemPattern, SimDuration, SimTime, TemplateDesc, Term, Value};
+use std::fmt;
+
+/// A parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description, including approximate token position.
+    pub msg: String,
+}
+
+impl ParseError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        let toks = lex(src).map_err(|e| ParseError::new(e.to_string()))?;
+        Ok(Parser { toks, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected `{t}` at token {} (found {})",
+                self.pos,
+                self.peek().map_or("end of input".to_string(), |x| format!("`{x}`"))
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected keyword `{kw}` at token {}", self.pos)))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "unexpected trailing input starting at token {} (`{}`)",
+                self.pos,
+                self.peek().expect("not at end")
+            )))
+        }
+    }
+
+    // ---- literals and terms -------------------------------------------------
+
+    fn literal_from_ident(name: &str) -> Option<Value> {
+        match name {
+            "true" => Some(Value::Bool(true)),
+            "false" => Some(Value::Bool(false)),
+            "null" => Some(Value::Null),
+            _ => None,
+        }
+    }
+
+    /// `term := IDENT | literal | '*' | '-' number`
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Tok::Star) => Ok(Term::Wild),
+            Some(Tok::Int(i)) => Ok(Term::Const(Value::Int(i))),
+            Some(Tok::Float(x)) => Ok(Term::Const(Value::Float(x))),
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::Str(s))),
+            Some(Tok::Minus) => match self.next() {
+                Some(Tok::Int(i)) => Ok(Term::Const(Value::Int(-i))),
+                Some(Tok::Float(x)) => Ok(Term::Const(Value::Float(-x))),
+                _ => Err(ParseError::new("expected number after unary `-` in term")),
+            },
+            Some(Tok::Ident(name)) => {
+                if let Some(v) = Self::literal_from_ident(&name) {
+                    Ok(Term::Const(v))
+                } else {
+                    Ok(Term::Var(name))
+                }
+            }
+            other => Err(ParseError::new(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    /// `item := IDENT [ '(' term (',' term)* ')' ]` — caller has already
+    /// consumed the base identifier.
+    fn finish_item(&mut self, base: String) -> Result<ItemPattern, ParseError> {
+        let mut params = Vec::new();
+        if self.eat(&Tok::LParen) {
+            loop {
+                params.push(self.parse_term()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(ItemPattern { base, params })
+    }
+
+    fn parse_item(&mut self) -> Result<ItemPattern, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(base)) => self.finish_item(base),
+            other => Err(ParseError::new(format!("expected data-item name, found {other:?}"))),
+        }
+    }
+
+    // ---- event templates ----------------------------------------------------
+
+    /// `template := 'false' | KIND '(' … ')'`
+    fn parse_template(&mut self) -> Result<TemplateDesc, ParseError> {
+        let name = match self.next() {
+            Some(Tok::Ident(n)) => n,
+            other => {
+                return Err(ParseError::new(format!("expected event template, found {other:?}")))
+            }
+        };
+        if name == "false" {
+            return Ok(TemplateDesc::False);
+        }
+        self.expect(&Tok::LParen)?;
+        let out = match name.as_str() {
+            "Ws" => {
+                let item = self.parse_item()?;
+                self.expect(&Tok::Comma)?;
+                let first = self.parse_term()?;
+                if self.eat(&Tok::Comma) {
+                    let new = self.parse_term()?;
+                    TemplateDesc::Ws { item, old: Some(first), new }
+                } else {
+                    TemplateDesc::Ws { item, old: None, new: first }
+                }
+            }
+            "W" => {
+                let item = self.parse_item()?;
+                self.expect(&Tok::Comma)?;
+                let value = self.parse_term()?;
+                TemplateDesc::W { item, value }
+            }
+            "WR" => {
+                let item = self.parse_item()?;
+                self.expect(&Tok::Comma)?;
+                let value = self.parse_term()?;
+                TemplateDesc::Wr { item, value }
+            }
+            "RR" => TemplateDesc::Rr { item: self.parse_item()? },
+            "R" => {
+                let item = self.parse_item()?;
+                self.expect(&Tok::Comma)?;
+                let value = self.parse_term()?;
+                TemplateDesc::R { item, value }
+            }
+            "N" => {
+                let item = self.parse_item()?;
+                self.expect(&Tok::Comma)?;
+                let value = self.parse_term()?;
+                TemplateDesc::N { item, value }
+            }
+            "P" => {
+                let period = match self.peek() {
+                    Some(Tok::Duration(d)) => {
+                        let t = Term::Const(Value::Int(d.as_millis() as i64));
+                        self.pos += 1;
+                        t
+                    }
+                    _ => self.parse_term()?,
+                };
+                TemplateDesc::P { period }
+            }
+            _ => {
+                // Custom descriptor.
+                let mut args = Vec::new();
+                if self.peek() != Some(&Tok::RParen) {
+                    loop {
+                        args.push(self.parse_term()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                return Ok(TemplateDesc::Custom { name, args });
+            }
+        };
+        self.expect(&Tok::RParen)?;
+        Ok(out)
+    }
+
+    // ---- expressions and conditions ------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_muldiv()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let rhs = self.parse_muldiv()?;
+                lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Tok::Minus) {
+                let rhs = self.parse_muldiv()?;
+                lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_muldiv(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                let rhs = self.parse_unary()?;
+                lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Tok::Slash) {
+                let rhs = self.parse_unary()?;
+                lhs = Expr::Div(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Minus) {
+            // Fold negative literals so `-1` round-trips as a constant.
+            let inner = self.parse_unary()?;
+            return Ok(match inner {
+                Expr::Lit(Value::Int(i)) => Expr::Lit(Value::Int(-i)),
+                Expr::Lit(Value::Float(x)) => Expr::Lit(Value::Float(-x)),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        if self.eat_keyword("abs") {
+            self.expect(&Tok::LParen)?;
+            let e = self.parse_expr()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(Expr::Abs(Box::new(e)));
+        }
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(Expr::Lit(Value::Int(i))),
+            Some(Tok::Float(x)) => Ok(Expr::Lit(Value::Float(x))),
+            Some(Tok::Str(s)) => Ok(Expr::Lit(Value::Str(s))),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if let Some(v) = Self::literal_from_ident(&name) {
+                    return Ok(Expr::Lit(v));
+                }
+                // `name(...)` is always a (parameterized) data item;
+                // bare names follow the paper's case convention.
+                if self.peek() == Some(&Tok::LParen) {
+                    return Ok(Expr::Item(self.finish_item(name)?));
+                }
+                if name.chars().next().is_some_and(char::is_uppercase) {
+                    Ok(Expr::Item(ItemPattern::plain(name)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(ParseError::new(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn parse_cond(&mut self) -> Result<Cond, ParseError> {
+        let mut lhs = self.parse_cond_and()?;
+        while self.eat_keyword("or") {
+            let rhs = self.parse_cond_and()?;
+            lhs = Cond::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cond_and(&mut self) -> Result<Cond, ParseError> {
+        let mut lhs = self.parse_cond_not()?;
+        while self.eat_keyword("and") {
+            let rhs = self.parse_cond_not()?;
+            lhs = Cond::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cond_not(&mut self) -> Result<Cond, ParseError> {
+        if self.eat_keyword("not") {
+            return Ok(Cond::Not(Box::new(self.parse_cond_not()?)));
+        }
+        self.parse_cond_primary()
+    }
+
+    fn parse_cond_primary(&mut self) -> Result<Cond, ParseError> {
+        if self.eat_keyword("exists") {
+            self.expect(&Tok::LParen)?;
+            let item = self.parse_item()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(Cond::Exists(item));
+        }
+        // `(` may open a nested condition or a parenthesized arithmetic
+        // expression; try the condition reading first and backtrack.
+        if self.peek() == Some(&Tok::LParen) {
+            let checkpoint = self.pos;
+            self.pos += 1;
+            if let Ok(c) = self.parse_cond() {
+                if self.eat(&Tok::RParen) {
+                    return Ok(c);
+                }
+            }
+            self.pos = checkpoint;
+        }
+        let lhs = self.parse_expr()?;
+        let op = self.parse_cmp_op()?;
+        let rhs = self.parse_expr()?;
+        Ok(Cond::Cmp(lhs, op, rhs))
+    }
+
+    fn parse_cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        let op = match self.peek() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            other => {
+                return Err(ParseError::new(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    // ---- rule forms -----------------------------------------------------------
+
+    fn parse_within(&mut self) -> Result<SimDuration, ParseError> {
+        self.expect_keyword("within")?;
+        match self.next() {
+            Some(Tok::Duration(d)) => Ok(d),
+            other => Err(ParseError::new(format!(
+                "expected duration (e.g. `5s`, `300ms`) after `within`, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_interface_stmt(&mut self) -> Result<InterfaceStmt, ParseError> {
+        let lhs = self.parse_template()?;
+        let cond = if self.eat_keyword("when") { self.parse_cond()? } else { Cond::True };
+        self.expect(&Tok::Arrow)?;
+        let rhs = self.parse_template()?;
+        let bound = if rhs == TemplateDesc::False {
+            SimDuration::ZERO
+        } else {
+            self.parse_within()?
+        };
+        self.expect_end()?;
+        Ok(InterfaceStmt { lhs, cond, rhs, bound })
+    }
+
+    fn parse_strategy(&mut self) -> Result<StrategyRule, ParseError> {
+        let lhs = self.parse_template()?;
+        let cond = if self.eat_keyword("when") { self.parse_cond()? } else { Cond::True };
+        self.expect(&Tok::Arrow)?;
+        let mut steps = Vec::new();
+        loop {
+            let step_cond = if self.eat_keyword("if") {
+                let c = self.parse_cond()?;
+                self.expect_keyword("then")?;
+                c
+            } else {
+                Cond::True
+            };
+            let event = self.parse_template()?;
+            steps.push(RhsStep { cond: step_cond, event });
+            if !self.eat(&Tok::Semi) {
+                break;
+            }
+        }
+        let bound = self.parse_within()?;
+        self.expect_end()?;
+        Ok(StrategyRule { lhs, cond, steps, bound })
+    }
+
+    // ---- guarantees -------------------------------------------------------------
+
+    fn parse_time_expr(&mut self) -> Result<TimeExpr, ParseError> {
+        match self.next() {
+            Some(Tok::Duration(d)) => Ok(TimeExpr::Const(SimTime::from_millis(d.as_millis()))),
+            Some(Tok::Ident(v)) => {
+                if self.eat(&Tok::Plus) {
+                    match self.next() {
+                        Some(Tok::Duration(d)) => Ok(TimeExpr::Offset(v, d.as_millis() as i64)),
+                        other => Err(ParseError::new(format!(
+                            "expected duration after `+` in time expression, found {other:?}"
+                        ))),
+                    }
+                } else if self.eat(&Tok::Minus) {
+                    match self.next() {
+                        Some(Tok::Duration(d)) => Ok(TimeExpr::Offset(v, -(d.as_millis() as i64))),
+                        other => Err(ParseError::new(format!(
+                            "expected duration after `-` in time expression, found {other:?}"
+                        ))),
+                    }
+                } else {
+                    Ok(TimeExpr::Var(v))
+                }
+            }
+            other => Err(ParseError::new(format!("expected time expression, found {other:?}"))),
+        }
+    }
+
+    fn parse_gatom(&mut self) -> Result<GAtom, ParseError> {
+        // Condition-anchored atoms start with `(` or `exists`; anything
+        // else is a time comparison.
+        let cond = if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            let c = self.parse_cond()?;
+            self.expect(&Tok::RParen)?;
+            Some(c)
+        } else if self.eat_keyword("exists") {
+            self.expect(&Tok::LParen)?;
+            let item = self.parse_item()?;
+            self.expect(&Tok::RParen)?;
+            Some(Cond::Exists(item))
+        } else {
+            None
+        };
+        match cond {
+            Some(c) => match self.next() {
+                Some(Tok::At) => Ok(GAtom::At(c, self.parse_time_expr()?)),
+                Some(Tok::AtAll) => {
+                    self.expect(&Tok::LBracket)?;
+                    let a = self.parse_time_expr()?;
+                    self.expect(&Tok::Comma)?;
+                    let b = self.parse_time_expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(GAtom::Throughout(c, a, b))
+                }
+                Some(Tok::AtSome) => {
+                    self.expect(&Tok::LBracket)?;
+                    let a = self.parse_time_expr()?;
+                    self.expect(&Tok::Comma)?;
+                    let b = self.parse_time_expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(GAtom::Sometime(c, a, b))
+                }
+                other => Err(ParseError::new(format!(
+                    "expected `@`, `@@` or `@?` after condition, found {other:?}"
+                ))),
+            },
+            None => {
+                let a = self.parse_time_expr()?;
+                let op = self.parse_cmp_op()?;
+                let b = self.parse_time_expr()?;
+                Ok(GAtom::TimeCmp(a, op, b))
+            }
+        }
+    }
+
+    fn parse_gatoms(&mut self) -> Result<Vec<GAtom>, ParseError> {
+        let mut atoms = vec![self.parse_gatom()?];
+        while self.eat_keyword("and") {
+            atoms.push(self.parse_gatom()?);
+        }
+        Ok(atoms)
+    }
+
+    fn parse_guarantee_body(&mut self, name: &str) -> Result<Guarantee, ParseError> {
+        let first = self.parse_gatoms()?;
+        let g = if self.eat(&Tok::Implies) {
+            let rhs = self.parse_gatoms()?;
+            Guarantee { name: name.to_owned(), lhs: first, rhs }
+        } else {
+            Guarantee { name: name.to_owned(), lhs: Vec::new(), rhs: first }
+        };
+        self.expect_end()?;
+        Ok(g)
+    }
+}
+
+/// Parse a single event template, e.g. `N(salary1(n), b)`.
+pub fn parse_template(src: &str) -> Result<TemplateDesc, ParseError> {
+    let mut p = Parser::new(src)?;
+    let t = p.parse_template()?;
+    p.expect_end()?;
+    Ok(t)
+}
+
+/// Parse a condition, e.g. `abs(b - a) > 0.1 * a`.
+pub fn parse_cond(src: &str) -> Result<Cond, ParseError> {
+    let mut p = Parser::new(src)?;
+    let c = p.parse_cond()?;
+    p.expect_end()?;
+    Ok(c)
+}
+
+/// Parse an interface statement, e.g. `WR(X, b) -> W(X, b) within 1s`.
+pub fn parse_interface(src: &str) -> Result<InterfaceStmt, ParseError> {
+    Parser::new(src)?.parse_interface_stmt()
+}
+
+/// Parse a strategy rule, e.g.
+/// `N(X, b) -> if Cx != b then WR(Y, b) ; W(Cx, b) within 5s`.
+pub fn parse_strategy_rule(src: &str) -> Result<StrategyRule, ParseError> {
+    Parser::new(src)?.parse_strategy()
+}
+
+/// Parse a guarantee formula, e.g.
+/// `(Y = y) @ t1 => (X = y) @ t2 and t2 < t1`.
+pub fn parse_guarantee(name: &str, src: &str) -> Result<Guarantee, ParseError> {
+    Parser::new(src)?.parse_guarantee_body(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_write_interface() {
+        let s = parse_interface("WR(X, b) -> W(X, b) within 1s").unwrap();
+        assert_eq!(s.bound, SimDuration::from_secs(1));
+        assert_eq!(s.cond, Cond::True);
+        assert!(matches!(s.lhs, TemplateDesc::Wr { .. }));
+        assert!(matches!(s.rhs, TemplateDesc::W { .. }));
+    }
+
+    #[test]
+    fn parses_no_spontaneous_write() {
+        let s = parse_interface("Ws(X, b) -> false").unwrap();
+        assert_eq!(s.rhs, TemplateDesc::False);
+        assert_eq!(s.bound, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn parses_conditional_notify() {
+        let s = parse_interface("Ws(X, a, b) when abs(b - a) > 0.1 * a -> N(X, b) within 2s")
+            .unwrap();
+        match &s.lhs {
+            TemplateDesc::Ws { old: Some(Term::Var(o)), new: Term::Var(n), .. } => {
+                assert_eq!(o, "a");
+                assert_eq!(n, "b");
+            }
+            other => panic!("unexpected lhs {other:?}"),
+        }
+        assert!(matches!(s.cond, Cond::Cmp(..)));
+    }
+
+    #[test]
+    fn parses_periodic_notify() {
+        let s = parse_interface("P(300s) when X = b -> N(X, b) within 500ms").unwrap();
+        match &s.lhs {
+            TemplateDesc::P { period: Term::Const(Value::Int(ms)) } => assert_eq!(*ms, 300_000),
+            other => panic!("unexpected lhs {other:?}"),
+        }
+        assert_eq!(s.bound, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn parses_read_interface() {
+        let s = parse_interface("RR(X) when X = b -> R(X, b) within 1s").unwrap();
+        assert!(matches!(s.lhs, TemplateDesc::Rr { .. }));
+        assert!(matches!(s.rhs, TemplateDesc::R { .. }));
+    }
+
+    #[test]
+    fn parses_parameterized_strategy() {
+        let r =
+            parse_strategy_rule("N(salary1(n), b) -> WR(salary2(n), b) within 5s").unwrap();
+        assert_eq!(r.steps.len(), 1);
+        assert_eq!(r.bound, SimDuration::from_secs(5));
+        assert_eq!(
+            r.to_string(),
+            "N(salary1(n), b) -> WR(salary2(n), b) within 5.000s"
+        );
+    }
+
+    #[test]
+    fn parses_sequenced_rhs_with_step_conditions() {
+        let r = parse_strategy_rule("N(X, b) -> if Cx != b then WR(Y, b) ; W(Cx, b) within 5s")
+            .unwrap();
+        assert_eq!(r.steps.len(), 2);
+        assert!(matches!(r.steps[0].cond, Cond::Cmp(..)));
+        assert_eq!(r.steps[1].cond, Cond::True);
+        assert!(matches!(r.steps[1].event, TemplateDesc::W { .. }));
+    }
+
+    #[test]
+    fn parses_lhs_condition_on_strategy() {
+        let r = parse_strategy_rule("N(X, b) when b > 100 -> WR(Y, b) within 1s").unwrap();
+        assert!(matches!(r.cond, Cond::Cmp(..)));
+    }
+
+    #[test]
+    fn parses_custom_template() {
+        let t = parse_template("LimitReq(amt, \"from_x\")").unwrap();
+        match t {
+            TemplateDesc::Custom { name, args } => {
+                assert_eq!(name, "LimitReq");
+                assert_eq!(args.len(), 2);
+                assert_eq!(args[1], Term::Const(Value::Str("from_x".into())));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let t0 = parse_template("Reset()").unwrap();
+        assert!(matches!(t0, TemplateDesc::Custom { ref args, .. } if args.is_empty()));
+    }
+
+    #[test]
+    fn parses_guarantee_y_follows_x() {
+        let g = parse_guarantee("g1", "(Y = y) @ t1 => (X = y) @ t2 and t2 < t1").unwrap();
+        assert_eq!(g.lhs.len(), 1);
+        assert_eq!(g.rhs.len(), 2);
+        assert!(matches!(g.rhs[1], GAtom::TimeCmp(..)));
+    }
+
+    #[test]
+    fn parses_metric_guarantee() {
+        let g = parse_guarantee(
+            "g4",
+            "(Y = y) @ t1 => (X = y) @ t2 and t1 - 30s < t2 and t2 < t1",
+        )
+        .unwrap();
+        match &g.rhs[1] {
+            GAtom::TimeCmp(TimeExpr::Offset(v, off), CmpOp::Lt, TimeExpr::Var(w)) => {
+                assert_eq!(v, "t1");
+                assert_eq!(*off, -30_000);
+                assert_eq!(w, "t2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_monitor_guarantee() {
+        let g = parse_guarantee(
+            "monitor",
+            "(Flag = true and Tb = s) @ t => (X = Y) @@ [s, t - 10s]",
+        )
+        .unwrap();
+        assert!(matches!(g.rhs[0], GAtom::Throughout(..)));
+    }
+
+    #[test]
+    fn parses_refint_guarantee() {
+        let g = parse_guarantee(
+            "refint",
+            "exists(project(i)) @ t => exists(salary(i)) @? [t, t + 86400s]",
+        )
+        .unwrap();
+        assert!(matches!(g.lhs[0], GAtom::At(Cond::Exists(_), _)));
+        assert!(matches!(g.rhs[0], GAtom::Sometime(Cond::Exists(_), _, _)));
+    }
+
+    #[test]
+    fn parses_unconditional_guarantee() {
+        let g = parse_guarantee("inv", "(X <= Y) @ t").unwrap();
+        assert!(g.lhs.is_empty());
+        assert_eq!(g.rhs.len(), 1);
+    }
+
+    #[test]
+    fn parses_strictly_follows() {
+        let g = parse_guarantee(
+            "g3",
+            "(Y = y1) @ t1 and (Y = y2) @ t2 and t1 < t2 => \
+             (X = y1) @ t3 and (X = y2) @ t4 and t3 < t4",
+        )
+        .unwrap();
+        assert_eq!(g.lhs.len(), 3);
+        assert_eq!(g.rhs.len(), 3);
+    }
+
+    #[test]
+    fn condition_paren_backtracking() {
+        // Parenthesized arithmetic, not a nested condition.
+        let c = parse_cond("(b - a) > 5").unwrap();
+        assert!(matches!(c, Cond::Cmp(Expr::Sub(..), CmpOp::Gt, _)));
+        // Nested condition with or.
+        let c2 = parse_cond("(X = 1 or Y = 2) and not Z = 3").unwrap();
+        assert!(matches!(c2, Cond::And(..)));
+    }
+
+    #[test]
+    fn case_convention() {
+        let c = parse_cond("Cx != b").unwrap();
+        match c {
+            Cond::Cmp(Expr::Item(item), CmpOp::Ne, Expr::Var(v)) => {
+                assert_eq!(item.base, "Cx");
+                assert_eq!(v, "b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Parenthesized application is an item regardless of case.
+        let c2 = parse_cond("salary1(n) = b").unwrap();
+        assert!(matches!(c2, Cond::Cmp(Expr::Item(_), _, _)));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_interface("WR(X, b) -> W(X, b)").is_err()); // missing within
+        assert!(parse_interface("WR(X, b) W(X, b) within 1s").is_err()); // missing arrow
+        assert!(parse_strategy_rule("-> WR(Y, b) within 1s").is_err());
+        assert!(parse_guarantee("g", "(X = 1)").is_err()); // missing @
+        assert!(parse_template("N(X)").is_err()); // N needs a value
+        assert!(parse_cond("X =").is_err());
+        assert!(parse_interface("WR(X, b) -> W(X, b) within 1s extra").is_err());
+    }
+
+    #[test]
+    fn negative_constants_in_terms() {
+        let t = parse_template("N(X, -5)").unwrap();
+        match t {
+            TemplateDesc::N { value: Term::Const(Value::Int(v)), .. } => assert_eq!(v, -5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_display_reparse() {
+        let srcs = [
+            "WR(X, b) -> W(X, b) within 1s",
+            "Ws(X, b) -> false",
+            "RR(X) when X = b -> R(X, b) within 1s",
+        ];
+        for s in srcs {
+            let a = parse_interface(s).unwrap();
+            let b = parse_interface(&a.to_string()).unwrap();
+            assert_eq!(a, b, "round trip failed for {s}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the rule language: printed forms of
+//! generated ASTs re-parse to the same AST (display/parse round trip),
+//! and the lexer never panics on arbitrary input.
+
+use hcm_core::{ItemPattern, SimDuration, TemplateDesc, Term, Value};
+use hcm_rulelang::{
+    parse_interface, parse_strategy_rule, Cond, CmpOp, Expr, InterfaceStmt, RhsStep, StrategyRule,
+};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Lower-case start: rule variables / parameterized item bases.
+    "[a-z][a-z0-9]{0,6}".prop_map(|s| s)
+}
+
+fn arb_item_base() -> impl Strategy<Value = String> {
+    "[A-Z][a-z0-9]{0,6}".prop_map(|s| s)
+}
+
+fn arb_const() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-10_000i64..10_000).prop_map(Value::Int),
+        "[a-z]{1,6}".prop_map(Value::from),
+        Just(Value::Bool(true)),
+        Just(Value::Null),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_ident().prop_map(Term::Var),
+        arb_const().prop_map(Term::Const),
+        Just(Term::Wild),
+    ]
+}
+
+fn arb_item_pattern() -> impl Strategy<Value = ItemPattern> {
+    (arb_item_base(), prop::collection::vec(arb_term(), 0..3))
+        .prop_map(|(base, params)| ItemPattern { base, params })
+}
+
+fn arb_duration() -> impl Strategy<Value = SimDuration> {
+    (1u64..100_000).prop_map(SimDuration::from_millis)
+}
+
+fn arb_template() -> impl Strategy<Value = TemplateDesc> {
+    prop_oneof![
+        (arb_item_pattern(), arb_term()).prop_map(|(item, value)| TemplateDesc::N { item, value }),
+        (arb_item_pattern(), arb_term())
+            .prop_map(|(item, value)| TemplateDesc::Wr { item, value }),
+        (arb_item_pattern(), arb_term()).prop_map(|(item, value)| TemplateDesc::W { item, value }),
+        arb_item_pattern().prop_map(|item| TemplateDesc::Rr { item }),
+        (arb_item_pattern(), proptest::option::of(arb_term()), arb_term())
+            .prop_map(|(item, old, new)| TemplateDesc::Ws { item, old, new }),
+        (1i64..1_000_000).prop_map(|ms| TemplateDesc::P {
+            period: Term::Const(Value::Int(ms))
+        }),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_simple_cond() -> impl Strategy<Value = Cond> {
+    // A conjunction of comparisons between items/vars/ints — the shape
+    // real interface conditions take.
+    let operand = prop_oneof![
+        arb_item_pattern().prop_map(Expr::Item),
+        arb_ident().prop_map(Expr::Var),
+        (-10_000i64..10_000).prop_map(|i| Expr::Lit(Value::Int(i))),
+    ];
+    prop::collection::vec((operand.clone(), arb_cmp(), operand), 1..3).prop_map(|cmps| {
+        cmps.into_iter()
+            .map(|(a, op, b)| Cond::Cmp(a, op, b))
+            .reduce(|acc, c| Cond::And(Box::new(acc), Box::new(c)))
+            .expect("non-empty")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Display → parse is the identity on interface statements.
+    #[test]
+    fn interface_roundtrip(
+        lhs in arb_template(),
+        cond in proptest::option::of(arb_simple_cond()),
+        rhs in arb_template(),
+        bound in arb_duration(),
+    ) {
+        let stmt = InterfaceStmt {
+            lhs,
+            cond: cond.unwrap_or(Cond::True),
+            rhs,
+            bound,
+        };
+        let printed = stmt.to_string();
+        let reparsed = parse_interface(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        prop_assert_eq!(stmt, reparsed, "round trip through `{}`", printed);
+    }
+
+    /// Display → parse is the identity on strategy rules with sequenced
+    /// right-hand sides.
+    #[test]
+    fn strategy_roundtrip(
+        lhs in arb_template(),
+        cond in proptest::option::of(arb_simple_cond()),
+        steps in prop::collection::vec(
+            (proptest::option::of(arb_simple_cond()), arb_template()),
+            1..4
+        ),
+        bound in arb_duration(),
+    ) {
+        let rule = StrategyRule {
+            lhs,
+            cond: cond.unwrap_or(Cond::True),
+            steps: steps
+                .into_iter()
+                .map(|(c, event)| RhsStep { cond: c.unwrap_or(Cond::True), event })
+                .collect(),
+            bound,
+        };
+        let printed = rule.to_string();
+        let reparsed = parse_strategy_rule(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        prop_assert_eq!(rule, reparsed, "round trip through `{}`", printed);
+    }
+
+    /// The lexer and parsers never panic on arbitrary input (errors are
+    /// returned, not thrown).
+    #[test]
+    fn parser_total_on_garbage(src in "\\PC{0,60}") {
+        let _ = parse_interface(&src);
+        let _ = parse_strategy_rule(&src);
+        let _ = hcm_rulelang::parse_cond(&src);
+        let _ = hcm_rulelang::parse_template(&src);
+        let _ = hcm_rulelang::parse_guarantee("g", &src);
+        let _ = hcm_rulelang::SpecFile::parse(&src);
+    }
+}

@@ -1,0 +1,58 @@
+//! Concrete [`crate::backend::RisBackend`] implementations, one per
+//! store kind. Construction is factored through [`build_backend`].
+
+mod biblio;
+mod email;
+mod files;
+mod kv;
+mod relational;
+mod whois;
+
+pub use biblio::BiblioBackend;
+pub use email::EmailBackend;
+pub use files::FileBackend;
+pub use kv::KvBackend;
+pub use relational::RelationalBackend;
+pub use whois::WhoisBackend;
+
+use crate::backend::RisBackend;
+use crate::rid::{CmRid, RisKind};
+use hcm_ris::{
+    biblio::BiblioDb, email::MailSystem, filestore::FileStore, kvstore::KvStore,
+    relational::Database, whois::WhoisDir,
+};
+
+/// A prepared raw store, handed to [`build_backend`] together with its
+/// CM-RID. The variant must match the RID's `ris` kind.
+pub enum RawStore {
+    /// Relational database.
+    Relational(Database),
+    /// File store.
+    File(FileStore),
+    /// Key-value store.
+    Kv(KvStore),
+    /// Bibliographic store.
+    Biblio(BiblioDb),
+    /// Whois directory.
+    Whois(WhoisDir),
+    /// Mail system.
+    Email(MailSystem),
+}
+
+/// Wrap a raw store in the backend matching the CM-RID. Panics when the
+/// store variant does not match the RID's declared kind — that is a
+/// scenario construction bug, not a run-time condition.
+#[must_use]
+pub fn build_backend(store: RawStore, rid: &CmRid) -> Box<dyn RisBackend> {
+    match (store, rid.kind) {
+        (RawStore::Relational(db), RisKind::Relational) => {
+            Box::new(RelationalBackend::new(db, rid))
+        }
+        (RawStore::File(fs), RisKind::File) => Box::new(FileBackend::new(fs, rid)),
+        (RawStore::Kv(kv), RisKind::Kv) => Box::new(KvBackend::new(kv, rid)),
+        (RawStore::Biblio(db), RisKind::Biblio) => Box::new(BiblioBackend::new(db, rid)),
+        (RawStore::Whois(d), RisKind::Whois) => Box::new(WhoisBackend::new(d, rid)),
+        (RawStore::Email(m), RisKind::Email) => Box::new(EmailBackend::new(m, rid)),
+        (_, kind) => panic!("raw store does not match CM-RID kind {kind:?}"),
+    }
+}

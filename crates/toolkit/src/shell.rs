@@ -1,0 +1,537 @@
+//! The CM-Shell actor — the distributed rule engine.
+//!
+//! "At run-time, the CM-Shells process events received from their
+//! respective CM-Translators and fire rules appropriately. The events
+//! that are produced as a result of rules firing are forwarded to the
+//! local CM-Translator and other CM-Shells as determined during
+//! initialization" (§4.1).
+//!
+//! Each shell evaluates the LHS of the strategy rules assigned to its
+//! site; when a rule fires, its sequenced RHS executes at the RHS
+//! site's shell (locally, or via a `RemoteFire` message). The shell
+//! also holds the CM-private data strategies may read and write
+//! (§3.2's `Cx`, §6.3's `Flag`/`Tb`), arms timers for `P(p)`-headed
+//! rules, tracks outstanding CMI requests for failure detection (§5),
+//! and keeps the site's [`GuaranteeRegistry`].
+
+use crate::compile::{CompiledRule, CompiledStrategy, Locator};
+use crate::msg::{CmMsg, FailureKindMsg, RequestKind, TranslatorEvent};
+use crate::registry::{FailureKind, GuaranteeRegistry};
+use hcm_core::{
+    Bindings, EventDesc, EventId, ItemId, RuleId, SimDuration, SimTime, SiteId, TemplateDesc,
+    TraceRecorder, Value,
+};
+use hcm_rulelang::ast::BindingsEnv;
+use hcm_rulelang::StrategyRule;
+use hcm_simkit::{Actor, ActorId, Ctx};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Delay for shell→translator request submission (same machine).
+const LOCAL_DELAY: SimDuration = SimDuration::from_millis(1);
+
+/// Observable shell counters.
+#[derive(Debug, Default, Clone)]
+pub struct ShellStats {
+    /// Rule firings executed (RHS runs).
+    pub firings: u64,
+    /// LHS matches whose condition failed.
+    pub cond_suppressed: u64,
+    /// RHS steps skipped by their step condition.
+    pub steps_skipped: u64,
+    /// Write/read requests sent to the local translator.
+    pub requests_sent: u64,
+    /// Metric failures detected (deadline missed).
+    pub metric_failures_detected: u64,
+    /// Logical failures detected (escalation deadline missed).
+    pub logical_failures_detected: u64,
+    /// Failures cleared (late response arrived).
+    pub failures_cleared: u64,
+}
+
+/// Failure-detection timing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureConfig {
+    /// A request unanswered after this long is a *metric* failure.
+    pub deadline: SimDuration,
+    /// Still unanswered after this much more ⇒ *logical* failure.
+    pub escalation: SimDuration,
+    /// When set, the shell probes its translator at this period even
+    /// with no application traffic, so a silent site failure is
+    /// detected within `heartbeat + deadline` rather than waiting for
+    /// the next constraint-driven request (§5's silent-failure gap).
+    pub heartbeat: Option<SimDuration>,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            deadline: SimDuration::from_secs(5),
+            escalation: SimDuration::from_secs(30),
+            heartbeat: None,
+        }
+    }
+}
+
+struct Outstanding {
+    /// Whether a metric failure has already been flagged for it.
+    flagged: bool,
+}
+
+/// The CM-Shell actor. See module docs.
+pub struct ShellActor {
+    site: SiteId,
+    translator: ActorId,
+    /// Shell of every site, for RemoteFire/Custom/FailureNotice routing.
+    shells: BTreeMap<SiteId, ActorId>,
+    /// Every compiled rule (execution needs RHS definitions of rules
+    /// matched elsewhere).
+    rules: Vec<CompiledRule>,
+    /// Indices into `rules` whose LHS this shell evaluates.
+    my_rules: Vec<usize>,
+    /// Indices of `P`-headed rules this shell arms timers for.
+    periodic_rules: Vec<usize>,
+    locator: Locator,
+    /// CM-private and auxiliary data (shared with the scenario so
+    /// applications can read it — §7.1).
+    private: Rc<RefCell<BTreeMap<ItemId, Value>>>,
+    registry: Rc<RefCell<GuaranteeRegistry>>,
+    recorder: TraceRecorder,
+    stats: Rc<RefCell<ShellStats>>,
+    failure_cfg: FailureConfig,
+    outstanding: BTreeMap<u64, Outstanding>,
+    next_req: u64,
+    stop_periodics_at: SimTime,
+}
+
+impl ShellActor {
+    /// Build a shell for `site`. `strategy` supplies rules, placement
+    /// and the locator; `shells` maps every site to its shell actor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        site: SiteId,
+        translator: ActorId,
+        shells: BTreeMap<SiteId, ActorId>,
+        strategy: &CompiledStrategy,
+        private: Rc<RefCell<BTreeMap<ItemId, Value>>>,
+        registry: Rc<RefCell<GuaranteeRegistry>>,
+        recorder: TraceRecorder,
+        stats: Rc<RefCell<ShellStats>>,
+        failure_cfg: FailureConfig,
+        stop_periodics_at: SimTime,
+    ) -> Self {
+        let rules = strategy.rules.clone();
+        let my_rules = rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.lhs_site == site && !matches!(r.rule.lhs, TemplateDesc::P { .. })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let periodic_rules = rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.lhs_site == site && matches!(r.rule.lhs, TemplateDesc::P { .. })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        ShellActor {
+            site,
+            translator,
+            shells,
+            rules,
+            my_rules,
+            periodic_rules,
+            locator: strategy.locator.clone(),
+            private,
+            registry,
+            recorder,
+            stats,
+            failure_cfg,
+            outstanding: BTreeMap::new(),
+            next_req: 0,
+            stop_periodics_at,
+        }
+    }
+
+    fn record(
+        &self,
+        now: SimTime,
+        desc: EventDesc,
+        old: Option<Value>,
+        rule: Option<RuleId>,
+        trigger: Option<EventId>,
+    ) -> EventId {
+        self.recorder.record(now, self.site, desc, old, rule, trigger)
+    }
+
+    fn private_lookup(&self, item: &ItemId) -> Option<Value> {
+        self.private.borrow().get(item).cloned()
+    }
+
+    /// Match an event against this shell's rules and dispatch firings.
+    fn process_event(&mut self, id: EventId, desc: &EventDesc, ctx: &mut Ctx<'_, CmMsg>) {
+        let mut firings: Vec<(usize, Bindings)> = Vec::new();
+        for &i in &self.my_rules {
+            let r = &self.rules[i];
+            let mut bindings = Bindings::new();
+            if !r.rule.lhs.match_desc(desc, &mut bindings) {
+                continue;
+            }
+            // LHS condition: evaluated at the LHS site against CM-local
+            // data (strategies never need global data access, §3.2).
+            let env = BindingsEnv {
+                bindings: &bindings,
+                lookup: |item: &ItemId| self.private_lookup(item),
+            };
+            if !r.rule.cond.eval(&env) {
+                self.stats.borrow_mut().cond_suppressed += 1;
+                continue;
+            }
+            firings.push((i, bindings));
+        }
+        for (i, bindings) in firings {
+            let r = &self.rules[i];
+            if r.rhs_site == self.site {
+                let rule_id = r.id;
+                self.execute_rhs(rule_id, id, bindings, ctx);
+            } else {
+                let target = self.shells[&r.rhs_site];
+                ctx.send(target, CmMsg::RemoteFire { rule: r.id, trigger: id, bindings });
+            }
+        }
+    }
+
+    /// Execute a rule's sequenced RHS at this (the RHS) site.
+    fn execute_rhs(
+        &mut self,
+        rule_id: RuleId,
+        trigger: EventId,
+        bindings: Bindings,
+        ctx: &mut Ctx<'_, CmMsg>,
+    ) {
+        self.stats.borrow_mut().firings += 1;
+        let rule: StrategyRule = match self.rules.iter().find(|r| r.id == rule_id) {
+            Some(r) => r.rule.clone(),
+            None => panic!("shell at {} asked to fire unknown rule {rule_id}", self.site),
+        };
+        for step in &rule.steps {
+            // Step conditions are evaluated at firing time at the RHS
+            // site (Appendix A.1), against CM-local data.
+            let cond_ok = {
+                let env = BindingsEnv {
+                    bindings: &bindings,
+                    lookup: |item: &ItemId| self.private_lookup(item),
+                };
+                step.cond.eval(&env)
+            };
+            if !cond_ok {
+                self.stats.borrow_mut().steps_skipped += 1;
+                continue;
+            }
+            let Some(desc) = step.event.instantiate(&bindings) else {
+                // Unbound variable: specification bug; skip the step.
+                self.stats.borrow_mut().steps_skipped += 1;
+                continue;
+            };
+            self.emit(desc, rule_id, trigger, ctx);
+        }
+    }
+
+    /// Emit one generated event: route it to the right component and
+    /// record it where the paper says it occurs.
+    fn emit(&mut self, desc: EventDesc, rule: RuleId, trigger: EventId, ctx: &mut Ctx<'_, CmMsg>) {
+        let now = ctx.now();
+        match desc {
+            EventDesc::Wr { item, value } => {
+                // The WR event occurs at the database when it receives
+                // the request — the translator records it.
+                let req_id = self.track_request(ctx);
+                self.stats.borrow_mut().requests_sent += 1;
+                let me = ctx.me();
+                ctx.send_local(
+                    self.translator,
+                    CmMsg::Request {
+                        req_id,
+                        reply_to: me,
+                        rule: Some(rule),
+                        trigger: Some(trigger),
+                        kind: RequestKind::Write(item, value),
+                    },
+                    LOCAL_DELAY,
+                );
+            }
+            EventDesc::Rr { item } => {
+                let req_id = self.track_request(ctx);
+                self.stats.borrow_mut().requests_sent += 1;
+                let me = ctx.me();
+                ctx.send_local(
+                    self.translator,
+                    CmMsg::Request {
+                        req_id,
+                        reply_to: me,
+                        rule: Some(rule),
+                        trigger: Some(trigger),
+                        kind: RequestKind::Read(item),
+                    },
+                    LOCAL_DELAY,
+                );
+            }
+            EventDesc::W { item, value } => {
+                // Writes on the RHS address CM-private data (remote
+                // database writes go through WR).
+                assert!(
+                    self.locator.is_private(&item.base),
+                    "W(...) on RHS must target CM-private data, got `{item}`"
+                );
+                let old = self.private.borrow_mut().insert(item.clone(), value.clone());
+                let desc = EventDesc::W { item, value };
+                let id = self.record(now, desc.clone(), old, Some(rule), Some(trigger));
+                self.rematch_later(id, desc, ctx);
+            }
+            EventDesc::Custom { name, args } => {
+                let target_site = self.locator.site_of(&name).unwrap_or(self.site);
+                if target_site == self.site {
+                    let d = EventDesc::Custom { name, args };
+                    let id = self.record(now, d.clone(), None, Some(rule), Some(trigger));
+                    self.rematch_later(id, d, ctx);
+                } else {
+                    ctx.send(
+                        self.shells[&target_site],
+                        CmMsg::Custom {
+                            desc: EventDesc::Custom { name, args },
+                            rule: Some(rule),
+                            trigger: Some(trigger),
+                        },
+                    );
+                }
+            }
+            other => {
+                // N/R/Ws/P on a strategy RHS have no executable
+                // meaning for the shell; record them as-is so custom
+                // monitoring strategies can still assert them.
+                let id = self.record(now, other.clone(), None, Some(rule), Some(trigger));
+                self.rematch_later(id, other, ctx);
+            }
+        }
+    }
+
+    /// Re-match a just-recorded local event against this shell's rules
+    /// *through the scheduler* rather than by direct recursion:
+    /// self-triggering rule chains then consume scheduler steps (and
+    /// hit the step budget) instead of overflowing the stack.
+    fn rematch_later(&mut self, id: EventId, desc: EventDesc, ctx: &mut Ctx<'_, CmMsg>) {
+        let me = ctx.me();
+        ctx.send_local(
+            me,
+            CmMsg::Cmi(TranslatorEvent::Observed { id, desc }),
+            SimDuration::from_millis(1),
+        );
+    }
+
+    fn track_request(&mut self, ctx: &mut Ctx<'_, CmMsg>) -> u64 {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.outstanding.insert(req_id, Outstanding { flagged: false });
+        ctx.schedule_self(
+            self.failure_cfg.deadline,
+            CmMsg::CheckDeadline { req_id, escalation: false },
+        );
+        req_id
+    }
+
+    fn resolve_request(&mut self, req_id: u64, ctx: &mut Ctx<'_, CmMsg>) {
+        if let Some(o) = self.outstanding.remove(&req_id) {
+            if o.flagged {
+                // Late response: the failure was metric after all and
+                // has now cleared.
+                self.stats.borrow_mut().failures_cleared += 1;
+                self.registry.borrow_mut().on_clear(self.site, ctx.now());
+                self.broadcast_failure(FailureKindMsg::Cleared, ctx);
+            }
+        }
+    }
+
+    fn broadcast_failure(&self, kind: FailureKindMsg, ctx: &mut Ctx<'_, CmMsg>) {
+        for (&site, &shell) in &self.shells {
+            if site != self.site {
+                ctx.send(shell, CmMsg::FailureNotice { site: self.site, kind });
+            }
+        }
+    }
+
+    fn handle_deadline(&mut self, req_id: u64, escalation: bool, ctx: &mut Ctx<'_, CmMsg>) {
+        let now = ctx.now();
+        if !self.outstanding.contains_key(&req_id) {
+            return; // answered in time
+        }
+        if escalation {
+            // Still unanswered well past the bound: logical failure.
+            self.stats.borrow_mut().logical_failures_detected += 1;
+            self.record(
+                now,
+                EventDesc::Custom {
+                    name: "FailureDetected".into(),
+                    args: vec![
+                        Value::Int(i64::from(self.site.index())),
+                        Value::Str("logical".into()),
+                    ],
+                },
+                None,
+                None,
+                None,
+            );
+            self.registry.borrow_mut().on_failure(self.site, FailureKind::Logical, now);
+            self.broadcast_failure(FailureKindMsg::Logical, ctx);
+        } else {
+            if let Some(o) = self.outstanding.get_mut(&req_id) {
+                o.flagged = true;
+            }
+            self.stats.borrow_mut().metric_failures_detected += 1;
+            self.record(
+                now,
+                EventDesc::Custom {
+                    name: "FailureDetected".into(),
+                    args: vec![
+                        Value::Int(i64::from(self.site.index())),
+                        Value::Str("metric".into()),
+                    ],
+                },
+                None,
+                None,
+                None,
+            );
+            self.registry.borrow_mut().on_failure(self.site, FailureKind::Metric, now);
+            self.broadcast_failure(FailureKindMsg::Metric, ctx);
+            ctx.schedule_self(
+                self.failure_cfg.escalation,
+                CmMsg::CheckDeadline { req_id, escalation: true },
+            );
+        }
+    }
+
+    /// Probe the local translator with a cheap meta-request; the normal
+    /// deadline machinery turns a missing reply into a failure.
+    fn handle_heartbeat(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
+        let Some(period) = self.failure_cfg.heartbeat else { return };
+        let req_id = self.track_request(ctx);
+        let me = ctx.me();
+        ctx.send_local(
+            self.translator,
+            CmMsg::Request {
+                req_id,
+                reply_to: me,
+                rule: None,
+                trigger: None,
+                kind: RequestKind::Enumerate(hcm_core::ItemPattern::plain("__probe__")),
+            },
+            LOCAL_DELAY,
+        );
+        if ctx.now() + period <= self.stop_periodics_at {
+            ctx.schedule_self(period, CmMsg::Heartbeat);
+        }
+    }
+
+    fn handle_rule_tick(&mut self, idx: usize, ctx: &mut Ctx<'_, CmMsg>) {
+        let now = ctx.now();
+        let Some(&rule_idx) = self.periodic_rules.get(idx) else { return };
+        let r = &self.rules[rule_idx];
+        let TemplateDesc::P { period } = &r.rule.lhs else { return };
+        let ms = match period {
+            hcm_core::Term::Const(Value::Int(ms)) if *ms > 0 => *ms as u64,
+            _ => return,
+        };
+        let rule_id = r.id;
+        let cond = r.rule.cond.clone();
+        let desc = EventDesc::P { period: SimDuration::from_millis(ms) };
+        let p_id = self.record(now, desc, None, None, None);
+        // Evaluate the LHS condition and fire the RHS (locally, by
+        // construction of periodic-rule placement).
+        let bindings = Bindings::new();
+        let cond_ok = {
+            let env = BindingsEnv {
+                bindings: &bindings,
+                lookup: |item: &ItemId| self.private_lookup(item),
+            };
+            cond.eval(&env)
+        };
+        if cond_ok {
+            self.execute_rhs(rule_id, p_id, bindings, ctx);
+        } else {
+            self.stats.borrow_mut().cond_suppressed += 1;
+        }
+        if now + SimDuration::from_millis(ms) <= self.stop_periodics_at {
+            ctx.schedule_self(SimDuration::from_millis(ms), CmMsg::RuleTick { idx });
+        }
+    }
+}
+
+impl Actor<CmMsg> for ShellActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
+        if let Some(period) = self.failure_cfg.heartbeat {
+            if SimTime::ZERO + period <= self.stop_periodics_at {
+                ctx.schedule_self(period, CmMsg::Heartbeat);
+            }
+        }
+        for idx in 0..self.periodic_rules.len() {
+            let rule_idx = self.periodic_rules[idx];
+            if let TemplateDesc::P { period: hcm_core::Term::Const(Value::Int(ms @ 1..)) } =
+                &self.rules[rule_idx].rule.lhs
+            {
+                ctx.schedule_self(SimDuration::from_millis(*ms as u64), CmMsg::RuleTick { idx });
+            }
+        }
+        // Seed initial values of private items into the trace.
+        for (item, value) in self.private.borrow().iter() {
+            self.recorder.set_initial(item.clone(), value.clone());
+        }
+    }
+
+    fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {
+        match msg {
+            CmMsg::Cmi(TranslatorEvent::Notify { item, value, rule, trigger }) => {
+                let desc = EventDesc::N { item, value };
+                let id = self.record(ctx.now(), desc.clone(), None, Some(rule), Some(trigger));
+                self.process_event(id, &desc, ctx);
+            }
+            CmMsg::Cmi(TranslatorEvent::ReadResult { req_id, item, value, rule, trigger }) => {
+                self.resolve_request(req_id, ctx);
+                let desc = EventDesc::R { item, value };
+                let id = self.record(ctx.now(), desc.clone(), None, Some(rule), Some(trigger));
+                self.process_event(id, &desc, ctx);
+            }
+            CmMsg::Cmi(TranslatorEvent::WriteDone { req_id, ok: _ })
+            | CmMsg::Cmi(TranslatorEvent::EnumResult { req_id, .. }) => {
+                self.resolve_request(req_id, ctx);
+            }
+            CmMsg::Cmi(TranslatorEvent::Observed { id, desc }) => {
+                self.process_event(id, &desc, ctx);
+            }
+            CmMsg::RemoteFire { rule, trigger, bindings } => {
+                self.execute_rhs(rule, trigger, bindings, ctx);
+            }
+            CmMsg::Custom { desc, rule, trigger } => {
+                let id = self.record(ctx.now(), desc.clone(), None, rule, trigger);
+                self.process_event(id, &desc, ctx);
+            }
+            CmMsg::RuleTick { idx } => self.handle_rule_tick(idx, ctx),
+            CmMsg::Heartbeat => self.handle_heartbeat(ctx),
+            CmMsg::CheckDeadline { req_id, escalation } => {
+                self.handle_deadline(req_id, escalation, ctx)
+            }
+            CmMsg::FailureNotice { site, kind } => {
+                let now = ctx.now();
+                let mut reg = self.registry.borrow_mut();
+                match kind {
+                    FailureKindMsg::Metric => reg.on_failure(site, FailureKind::Metric, now),
+                    FailureKindMsg::Logical => reg.on_failure(site, FailureKind::Logical, now),
+                    FailureKindMsg::Cleared => reg.on_clear(site, now),
+                }
+            }
+            other => panic!("shell at {} received unexpected message {other:?}", self.site),
+        }
+    }
+}

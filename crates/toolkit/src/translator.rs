@@ -1,0 +1,459 @@
+//! The CM-Translator actor.
+//!
+//! "To factor this complexity away from the CM-Shells, we provide a
+//! CM-Translator (for each RIS) that presents to the CM-Shells the
+//! local capabilities in a standard fashion" (§4.1). At run time the
+//! translator
+//!
+//! * applies spontaneous application operations to its store and
+//!   records the resulting `Ws` events;
+//! * implements the offered **notify** interfaces from the store's
+//!   native change feed, the **periodic-notify** interfaces by armed
+//!   timers + native reads, the **write** and **read** interfaces by
+//!   servicing CMI requests within their `→δ` bounds;
+//! * forwards database-side events that strategy rules watch (the
+//!   interest patterns computed at initialization);
+//! * exhibits *metric failures* when its service delay is inflated
+//!   (overload injection) and *logical failures* when its actor
+//!   crashes — the two §5 classes.
+
+use crate::backend::RisBackend;
+use crate::msg::{CmMsg, RequestKind, SpontaneousOp, TranslatorEvent};
+use crate::rid::{classify, CmRid, IfaceClass};
+use hcm_core::{
+    Bindings, EventDesc, EventId, ItemId, RuleId, SimDuration, SimTime, SiteId, TemplateDesc,
+    TraceRecorder, Value,
+};
+use hcm_rulelang::ast::BindingsEnv;
+use hcm_rulelang::InterfaceStmt;
+use hcm_simkit::{Actor, ActorId, Ctx};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Delay for forwarding an observed event to the co-located shell.
+const FORWARD_DELAY: SimDuration = SimDuration::from_millis(1);
+
+/// Observable counters, shared with the scenario for experiment
+/// measurement (E8/E9 count messages; E7 counts rejections).
+#[derive(Debug, Default, Clone)]
+pub struct TranslatorStats {
+    /// Notifications sent to the shell.
+    pub notifications: u64,
+    /// Spontaneous changes that matched a notify interface but failed
+    /// its condition (conditional-notify suppression).
+    pub suppressed: u64,
+    /// CM write requests rejected by local constraints.
+    pub writes_rejected: u64,
+    /// CM write requests performed.
+    pub writes_done: u64,
+    /// Read requests served.
+    pub reads_served: u64,
+    /// Spontaneous operations that failed natively (e.g. deleting a
+    /// missing key).
+    pub spontaneous_errors: u64,
+    /// Spontaneous writes that violated a prohibition interface.
+    pub prohibition_violations: u64,
+}
+
+struct IfaceRule {
+    stmt: InterfaceStmt,
+    class: IfaceClass,
+    id: RuleId,
+}
+
+/// The translator actor. See module docs.
+pub struct TranslatorActor {
+    site: SiteId,
+    shell: ActorId,
+    backend: Box<dyn RisBackend>,
+    interfaces: Vec<IfaceRule>,
+    interest: Vec<TemplateDesc>,
+    service: SimDuration,
+    extra: SimDuration,
+    stop_periodics_at: SimTime,
+    recorder: TraceRecorder,
+    stats: Rc<RefCell<TranslatorStats>>,
+}
+
+impl TranslatorActor {
+    /// Build a translator. `iface_ids` are the rule ids assigned to the
+    /// CM-RID's interface statements (same order) in the scenario's
+    /// shared rule registry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        site: SiteId,
+        shell: ActorId,
+        backend: Box<dyn RisBackend>,
+        rid: &CmRid,
+        iface_ids: Vec<RuleId>,
+        interest: Vec<TemplateDesc>,
+        stop_periodics_at: SimTime,
+        recorder: TraceRecorder,
+        stats: Rc<RefCell<TranslatorStats>>,
+    ) -> Self {
+        assert_eq!(rid.interfaces.len(), iface_ids.len());
+        let interfaces = rid
+            .interfaces
+            .iter()
+            .cloned()
+            .zip(iface_ids)
+            .map(|(stmt, id)| {
+                let class = classify(&stmt).expect("validated by CmRid::parse");
+                IfaceRule { stmt, class, id }
+            })
+            .collect();
+        TranslatorActor {
+            site,
+            shell,
+            backend,
+            interfaces,
+            interest,
+            service: rid.service,
+            extra: SimDuration::ZERO,
+            stop_periodics_at,
+            recorder,
+            stats,
+        }
+    }
+
+    /// Capture initial values of all tracked items into the trace and
+    /// arm periodic-notify timers.
+    fn initialize(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
+        let mut seen = std::collections::BTreeSet::new();
+        for iface in &self.interfaces {
+            let pattern = match iface.class {
+                IfaceClass::Write | IfaceClass::Read | IfaceClass::Notify => {
+                    iface.stmt.lhs.item_pattern()
+                }
+                IfaceClass::PeriodicNotify => iface.stmt.rhs.item_pattern(),
+                IfaceClass::Prohibition => None,
+            };
+            let Some(pattern) = pattern else { continue };
+            for item in self.backend.enumerate(pattern) {
+                if seen.insert(item.clone()) {
+                    if let Ok(v) = self.backend.read(&item) {
+                        self.recorder.set_initial(item, v);
+                    }
+                }
+            }
+        }
+        for (idx, iface) in self.interfaces.iter().enumerate() {
+            if iface.class == IfaceClass::PeriodicNotify {
+                if let TemplateDesc::P { period } = &iface.stmt.lhs {
+                    if let Some(ms) = period_millis(period) {
+                        ctx.schedule_self(SimDuration::from_millis(ms), CmMsg::PollTick { idx });
+                    }
+                }
+            }
+        }
+    }
+
+    fn delay(&self) -> SimDuration {
+        self.service + self.extra
+    }
+
+    fn record(
+        &self,
+        now: SimTime,
+        desc: EventDesc,
+        old: Option<Value>,
+        rule: Option<RuleId>,
+        trigger: Option<EventId>,
+    ) -> EventId {
+        self.recorder.record(now, self.site, desc, old, rule, trigger)
+    }
+
+    /// Forward an event to the shell when an interest pattern matches.
+    fn forward_if_interesting(&self, id: EventId, desc: &EventDesc, ctx: &mut Ctx<'_, CmMsg>) {
+        for pat in &self.interest {
+            let mut b = Bindings::new();
+            if pat.match_desc(desc, &mut b) {
+                ctx.send_local(
+                    self.shell,
+                    CmMsg::Cmi(TranslatorEvent::Observed { id, desc: desc.clone() }),
+                    FORWARD_DELAY,
+                );
+                return;
+            }
+        }
+    }
+
+    fn handle_spontaneous(&mut self, op: &SpontaneousOp, ctx: &mut Ctx<'_, CmMsg>) {
+        let now = ctx.now();
+        let changes = match self.backend.apply_spontaneous(op, now) {
+            Ok(c) => c,
+            Err(_) => {
+                self.stats.borrow_mut().spontaneous_errors += 1;
+                return;
+            }
+        };
+        for change in changes {
+            let desc = EventDesc::Ws {
+                item: change.item.clone(),
+                old: change.old.clone(),
+                new: change.new.clone(),
+            };
+            let ws_id = self.record(now, desc.clone(), change.old.clone(), None, None);
+            self.forward_if_interesting(ws_id, &desc, ctx);
+
+            // Prohibition interfaces: the database promised this never
+            // happens. Record the breach for the checker and count it.
+            for iface in &self.interfaces {
+                if iface.class == IfaceClass::Prohibition {
+                    let mut b = Bindings::new();
+                    if iface.stmt.lhs.match_desc(&desc, &mut b) {
+                        self.stats.borrow_mut().prohibition_violations += 1;
+                    }
+                }
+            }
+
+            // Notify interfaces driven by the native change feed. A
+            // store without one reported this change only as trace
+            // ground truth — the translator could never have observed
+            // it, so no notifications may be derived from it.
+            if !self.backend.has_change_feed() {
+                continue;
+            }
+            let mut to_send: Vec<(ItemId, Value, RuleId)> = Vec::new();
+            for iface in &self.interfaces {
+                if iface.class != IfaceClass::Notify {
+                    continue;
+                }
+                let mut bindings = Bindings::new();
+                if !iface.stmt.lhs.match_desc(&desc, &mut bindings) {
+                    continue;
+                }
+                let backend = &self.backend;
+                let env = BindingsEnv {
+                    bindings: &bindings,
+                    lookup: |item: &ItemId| backend.read(item).ok(),
+                };
+                if !iface.stmt.cond.eval(&env) {
+                    self.stats.borrow_mut().suppressed += 1;
+                    continue;
+                }
+                if let Some(EventDesc::N { item, value }) = iface.stmt.rhs.instantiate(&bindings)
+                {
+                    to_send.push((item, value, iface.id));
+                }
+            }
+            for (item, value, rule) in to_send {
+                self.stats.borrow_mut().notifications += 1;
+                ctx.send_local(
+                    self.shell,
+                    CmMsg::Cmi(TranslatorEvent::Notify { item, value, rule, trigger: ws_id }),
+                    self.delay(),
+                );
+            }
+        }
+    }
+
+    fn find_iface(&self, class: IfaceClass, item: &ItemId) -> Option<&IfaceRule> {
+        self.interfaces.iter().find(|i| {
+            i.class == class
+                && i.stmt.lhs.item_pattern().is_some_and(|p| {
+                    let mut b = Bindings::new();
+                    p.match_item(item, &mut b)
+                })
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_request(
+        &mut self,
+        req_id: u64,
+        reply_to: ActorId,
+        rule: Option<RuleId>,
+        trigger: Option<EventId>,
+        kind: &RequestKind,
+        ctx: &mut Ctx<'_, CmMsg>,
+    ) {
+        let now = ctx.now();
+        match kind {
+            RequestKind::Write(item, value) => {
+                let desc = EventDesc::Wr { item: item.clone(), value: value.clone() };
+                let wr_id = self.record(now, desc.clone(), None, rule, trigger);
+                self.forward_if_interesting(wr_id, &desc, ctx);
+                let Some(iface) = self.find_iface(IfaceClass::Write, item) else {
+                    // No write interface offered: refuse immediately.
+                    self.stats.borrow_mut().writes_rejected += 1;
+                    ctx.send_local(
+                        reply_to,
+                        CmMsg::Cmi(TranslatorEvent::WriteDone { req_id, ok: false }),
+                        FORWARD_DELAY,
+                    );
+                    return;
+                };
+                // Perform after the database's service delay — within
+                // the interface bound in normal operation, beyond it
+                // under overload (metric failure).
+                let iface_rule = iface.id;
+                ctx.schedule_self(
+                    self.delay(),
+                    CmMsg::PerformWrite {
+                        req_id,
+                        reply_to,
+                        item: item.clone(),
+                        value: value.clone(),
+                        rule: iface_rule,
+                        trigger: wr_id,
+                    },
+                );
+            }
+            RequestKind::Enumerate(pattern) => {
+                // A meta-operation of the CMI: not part of the event
+                // vocabulary, so nothing is recorded in the trace.
+                let items = self.backend.enumerate(pattern);
+                ctx.send_local(
+                    reply_to,
+                    CmMsg::Cmi(TranslatorEvent::EnumResult { req_id, items }),
+                    self.delay(),
+                );
+            }
+            RequestKind::Read(item) => {
+                let desc = EventDesc::Rr { item: item.clone() };
+                let rr_id = self.record(now, desc.clone(), None, rule, trigger);
+                self.forward_if_interesting(rr_id, &desc, ctx);
+                let Some(iface) = self.find_iface(IfaceClass::Read, item) else {
+                    return; // no read interface: request goes unanswered
+                };
+                let value = self.backend.read(item).unwrap_or(Value::Null);
+                self.stats.borrow_mut().reads_served += 1;
+                ctx.send_local(
+                    reply_to,
+                    CmMsg::Cmi(TranslatorEvent::ReadResult {
+                        req_id,
+                        item: item.clone(),
+                        value,
+                        rule: iface.id,
+                        trigger: rr_id,
+                    }),
+                    self.delay(),
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_perform_write(
+        &mut self,
+        req_id: u64,
+        reply_to: ActorId,
+        item: &ItemId,
+        value: &Value,
+        rule: RuleId,
+        trigger: EventId,
+        ctx: &mut Ctx<'_, CmMsg>,
+    ) {
+        let now = ctx.now();
+        match self.backend.write(item, value, now) {
+            Ok(old) => {
+                let desc = EventDesc::W { item: item.clone(), value: value.clone() };
+                let w_id = self.record(now, desc.clone(), old, Some(rule), Some(trigger));
+                self.forward_if_interesting(w_id, &desc, ctx);
+                self.stats.borrow_mut().writes_done += 1;
+                ctx.send_local(
+                    reply_to,
+                    CmMsg::Cmi(TranslatorEvent::WriteDone { req_id, ok: true }),
+                    FORWARD_DELAY,
+                );
+            }
+            Err(_) => {
+                self.stats.borrow_mut().writes_rejected += 1;
+                self.record(
+                    now,
+                    EventDesc::Custom {
+                        name: "WriteRejected".into(),
+                        args: vec![Value::Str(item.to_string()), value.clone()],
+                    },
+                    None,
+                    Some(rule),
+                    Some(trigger),
+                );
+                ctx.send_local(
+                    reply_to,
+                    CmMsg::Cmi(TranslatorEvent::WriteDone { req_id, ok: false }),
+                    FORWARD_DELAY,
+                );
+            }
+        }
+    }
+
+    fn handle_poll_tick(&mut self, idx: usize, ctx: &mut Ctx<'_, CmMsg>) {
+        let now = ctx.now();
+        let Some(iface) = self.interfaces.get(idx) else { return };
+        let TemplateDesc::P { period } = &iface.stmt.lhs else { return };
+        let Some(period_ms) = period_millis(period) else { return };
+        let p_id = self.record(
+            now,
+            EventDesc::P { period: SimDuration::from_millis(period_ms) },
+            None,
+            None,
+            None,
+        );
+        // Instantiate the N template for every currently existing item.
+        if let TemplateDesc::N { item: item_pat, value: value_term } = &iface.stmt.rhs {
+            let items = self.backend.enumerate(item_pat);
+            let mut to_send = Vec::new();
+            for item in items {
+                let Ok(value) = self.backend.read(&item) else { continue };
+                let mut bindings = Bindings::new();
+                if !item_pat.match_item(&item, &mut bindings) {
+                    continue;
+                }
+                if let hcm_core::Term::Var(v) = value_term {
+                    bindings.bind(v.clone(), value.clone());
+                }
+                let backend = &self.backend;
+                let env = BindingsEnv {
+                    bindings: &bindings,
+                    lookup: |i: &ItemId| backend.read(i).ok(),
+                };
+                if !iface.stmt.cond.eval(&env) {
+                    self.stats.borrow_mut().suppressed += 1;
+                    continue;
+                }
+                to_send.push((item, value, iface.id));
+            }
+            for (item, value, rule) in to_send {
+                self.stats.borrow_mut().notifications += 1;
+                ctx.send_local(
+                    self.shell,
+                    CmMsg::Cmi(TranslatorEvent::Notify { item, value, rule, trigger: p_id }),
+                    self.delay(),
+                );
+            }
+        }
+        if now + SimDuration::from_millis(period_ms) <= self.stop_periodics_at {
+            ctx.schedule_self(SimDuration::from_millis(period_ms), CmMsg::PollTick { idx });
+        }
+    }
+}
+
+fn period_millis(period: &hcm_core::Term) -> Option<u64> {
+    match period {
+        hcm_core::Term::Const(Value::Int(ms)) if *ms > 0 => Some(*ms as u64),
+        _ => None,
+    }
+}
+
+impl Actor<CmMsg> for TranslatorActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
+        self.initialize(ctx);
+    }
+
+    fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {
+        match msg {
+            CmMsg::Spontaneous(op) => self.handle_spontaneous(&op, ctx),
+            CmMsg::Request { req_id, reply_to, rule, trigger, kind } => {
+                self.handle_request(req_id, reply_to, rule, trigger, &kind, ctx)
+            }
+            CmMsg::PerformWrite { req_id, reply_to, item, value, rule, trigger } => {
+                self.handle_perform_write(req_id, reply_to, &item, &value, rule, trigger, ctx)
+            }
+            CmMsg::PollTick { idx } => self.handle_poll_tick(idx, ctx),
+            CmMsg::SetServiceExtra(d) => self.extra = d,
+            other => panic!("translator at {} received unexpected message {other:?}", self.site),
+        }
+    }
+}

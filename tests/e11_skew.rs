@@ -1,0 +1,83 @@
+//! E11 — clock skew (§7.2).
+//!
+//! "Such a scenario does not pose a problem as long as the time
+//! intervals specified in the guarantee are significantly larger than
+//! the expected skew in system clocks … a clock skew of a few seconds
+//! (or even minutes) can be accommodated by including an error margin
+//! in the interval specified in the guarantee."
+//!
+//! Sweep the batch machine's clock skew and find where the tight
+//! 17:15 window breaks versus where a margin-widened window survives.
+
+use hcm::checker::guarantee::check_guarantee;
+use hcm::core::SimTime;
+use hcm::protocols::periodic::{clock, BankScenario};
+
+fn run_with_skew(skew_secs: u64) -> hcm::core::Trace {
+    let mut b = hcm::protocols::periodic::build(
+        11,
+        &[("a1", 100)],
+        &[SimTime::from_secs(clock::FIVE_PM + skew_secs)],
+    );
+    b.branch_update(SimTime::from_secs(clock::NINE_AM + 600), "a1", 500);
+    b.scenario.inject(
+        SimTime::from_secs(clock::EIGHT_AM_NEXT + 600),
+        "BR",
+        hcm::toolkit::SpontaneousOp::Sql("insert into accounts values ('pad', 1)".into()),
+    );
+    b.scenario.run_to_quiescence();
+    b.scenario.trace()
+}
+
+#[test]
+fn skew_within_the_batch_margin_is_harmless() {
+    // The 17:00 → 17:15 window already contains ~15 min of slack; any
+    // skew below it leaves the guarantee intact.
+    for skew in [0u64, 30, 120, 600] {
+        let trace = run_with_skew(skew);
+        let g = BankScenario::night_guarantee(
+            clock::FIVE_FIFTEEN_PM * 1000,
+            clock::EIGHT_AM_NEXT * 1000,
+        );
+        let r = check_guarantee(&trace, &g, None);
+        assert!(r.holds, "skew {skew}s should be absorbed: {:#?}", r.violations);
+    }
+}
+
+#[test]
+fn skew_beyond_the_margin_breaks_the_tight_window() {
+    for skew in [1200u64, 3600] {
+        let trace = run_with_skew(skew);
+        let tight = BankScenario::night_guarantee(
+            clock::FIVE_FIFTEEN_PM * 1000,
+            clock::EIGHT_AM_NEXT * 1000,
+        );
+        assert!(
+            !check_guarantee(&trace, &tight, None).holds,
+            "skew {skew}s must break the tight window"
+        );
+        // The §7.2 fix: widen the interval by an error margin covering
+        // the expected skew.
+        let margin = BankScenario::night_guarantee(
+            (clock::FIVE_FIFTEEN_PM + skew) * 1000,
+            clock::EIGHT_AM_NEXT * 1000,
+        );
+        let r = check_guarantee(&trace, &margin, None);
+        assert!(r.holds, "skew {skew}s: {:#?}", r.violations);
+    }
+}
+
+#[test]
+fn crossover_is_exactly_the_batch_slack() {
+    // The window start is 17:15; the batch at 17:00+skew finishes in
+    // under a minute. The crossover therefore sits at ~15 minutes of
+    // skew: 14 min passes, 16 min fails.
+    let tight = BankScenario::night_guarantee(
+        clock::FIVE_FIFTEEN_PM * 1000,
+        clock::EIGHT_AM_NEXT * 1000,
+    );
+    let pass = run_with_skew(14 * 60);
+    assert!(check_guarantee(&pass, &tight, None).holds);
+    let fail = run_with_skew(16 * 60);
+    assert!(!check_guarantee(&fail, &tight, None).holds);
+}

@@ -1,0 +1,179 @@
+//! E2 — the §4.2.3 interface change: site A withdraws its notify
+//! interface and offers only a read interface, forcing the polling
+//! strategy
+//!
+//! ```text
+//! P(60s) -> RR(X) within 1s
+//! R(X, b) -> WR(Y, b) within 5s
+//! ```
+//!
+//! Paper claims: guarantees (1), (3), (4) remain valid; guarantee (2)
+//! "X leads Y" is **not** valid, because "it is possible for us to
+//! 'miss' updates when two or more updates occur in the same polling
+//! interval".
+
+mod common;
+
+use common::{employees_db, rule_set_of, RID_DST};
+use hcm::checker::{check_validity, guarantee::check_guarantee};
+use hcm::core::{SimTime, Value};
+use hcm::rulelang::parse_guarantee;
+use hcm::toolkit::backends::RawStore;
+use hcm::toolkit::{Scenario, ScenarioBuilder, SpontaneousOp};
+
+/// Site A now offers only the read interface (no notify).
+const RID_SRC_READONLY: &str = r#"
+ris = relational
+service = 200ms
+[interface]
+RR(salary1(n)) when salary1(n) = b -> R(salary1(n), b) within 1s
+[command read salary1]
+select salary from employees where empid = $p0
+[map salary1]
+table = employees
+key = empid
+col = salary
+"#;
+
+const POLLING_STRATEGY: &str = r#"
+[locate]
+salary1 = A
+salary2 = B
+
+[strategy]
+P(60s) -> RR(salary1("e1")) within 1s
+R(salary1(n), b) -> WR(salary2(n), b) within 5s
+"#;
+
+fn build(seed: u64, horizon_secs: u64) -> Scenario {
+    ScenarioBuilder::new(seed)
+        .site("A", RawStore::Relational(employees_db(&[("e1", 90_000)])), RID_SRC_READONLY)
+        .unwrap()
+        .site("B", RawStore::Relational(employees_db(&[("e1", 90_000)])), RID_DST)
+        .unwrap()
+        .strategy(POLLING_STRATEGY)
+        .stop_periodics_at(SimTime::from_secs(horizon_secs))
+        .build()
+        .unwrap()
+}
+
+fn update(sc: &mut Scenario, t: u64, v: i64) {
+    sc.inject(
+        SimTime::from_secs(t),
+        "A",
+        SpontaneousOp::Sql(format!("update employees set salary = {v} where empid = 'e1'")),
+    );
+}
+
+fn g(name: &str, body: &str) -> hcm::rulelang::Guarantee {
+    parse_guarantee(name, body).unwrap()
+}
+
+#[test]
+fn polling_keeps_follows_and_order_but_loses_leads() {
+    let mut sc = build(5, 600);
+    // Two updates inside one 60s polling interval: 95k at 70s, 99k at
+    // 80s. The 120s poll only sees 99k — 95k is missed. A later lone
+    // update (101k at 130s) is picked up by the 180s poll.
+    update(&mut sc, 70, 95_000);
+    update(&mut sc, 80, 99_000);
+    update(&mut sc, 130, 101_000);
+    sc.run_to_quiescence();
+    let trace = sc.trace();
+
+    // The execution is still valid — polling breaks a guarantee, not
+    // the rule semantics.
+    let report = check_validity(&trace, &rule_set_of(&sc));
+    assert!(report.is_valid(), "{:#?}", report.violations);
+
+    // (1) follows: Y only takes values X has taken.
+    let follows = g(
+        "follows",
+        "(salary2(n) = y) @ t1 => (salary1(n) = y) @ t2 and t2 <= t1",
+    );
+    let r = check_guarantee(&trace, &follows, None);
+    assert!(r.holds, "{:#?}", r.violations);
+
+    // (3) strictly follows: sampled subsequence preserves order.
+    let strict = g(
+        "strictly_follows",
+        "(salary2(n) = y1) @ t1 and (salary2(n) = y2) @ t2 and t1 < t2 and y1 != y2 => \
+         (salary1(n) = y1) @ t3 and (salary1(n) = y2) @ t4 and t3 < t4",
+    );
+    let r = check_guarantee(&trace, &strict, None);
+    assert!(r.holds, "{:#?}", r.violations);
+
+    // (4) metric follows with κ = poll period + bounds (60s + 10s).
+    let metric = g(
+        "follows_metric",
+        "(salary2(n) = y) @ t1 => (salary1(n) = y) @ t2 and t1 - 70s < t2 and t2 <= t1",
+    );
+    let r = check_guarantee(&trace, &metric, None);
+    assert!(r.holds, "{:#?}", r.violations);
+
+    // (2) leads: VIOLATED — 95k never reaches Y.
+    let leads = g(
+        "leads",
+        "(salary1(n) = x) @ t1 => (salary2(n) = x) @ t2 and t2 >= t1",
+    );
+    let r = check_guarantee(&trace, &leads, None);
+    assert!(!r.holds, "guarantee (2) must fail under polling with intra-interval updates");
+    assert!(r.violations.iter().any(|v| v.instantiation.contains("95000")));
+
+    // Sanity: the slow lone update did make it.
+    let y_vals = trace
+        .timeline(&hcm::core::ItemId::with("salary2", [Value::from("e1")]))
+        .values_taken();
+    assert!(y_vals.contains(&Value::Int(99_000)));
+    assert!(y_vals.contains(&Value::Int(101_000)));
+    assert!(!y_vals.contains(&Value::Int(95_000)), "95k must be skipped");
+}
+
+#[test]
+fn leads_survives_when_updates_are_slower_than_polling() {
+    let mut sc = build(6, 600);
+    // One update per interval: nothing is missed.
+    update(&mut sc, 70, 95_000);
+    update(&mut sc, 140, 99_000);
+    sc.run_to_quiescence();
+    let trace = sc.trace();
+    let leads = g(
+        "leads",
+        "(salary1(n) = x) @ t1 => (salary2(n) = x) @ t2 and t2 >= t1",
+    );
+    let r = check_guarantee(&trace, &leads, None);
+    assert!(r.holds, "{:#?}", r.violations);
+}
+
+/// Miss-rate sweep: fraction of X's values that never reach Y, as a
+/// function of updates per polling interval. This is the quantitative
+/// shape behind the paper's qualitative claim — the bench
+/// `polling_sweep` reports the full series.
+#[test]
+fn miss_rate_grows_with_update_rate() {
+    let miss_rate = |gap_secs: u64| -> f64 {
+        let mut sc = build(9, 1200);
+        let mut t = 65;
+        let mut v = 90_001;
+        while t < 1100 {
+            update(&mut sc, t, v);
+            t += gap_secs;
+            v += 1;
+        }
+        sc.run_to_quiescence();
+        let trace = sc.trace();
+        let x_vals = trace
+            .timeline(&hcm::core::ItemId::with("salary1", [Value::from("e1")]))
+            .values_taken();
+        let y_vals = trace
+            .timeline(&hcm::core::ItemId::with("salary2", [Value::from("e1")]))
+            .values_taken();
+        let missed = x_vals.iter().filter(|v| !y_vals.contains(v)).count();
+        missed as f64 / x_vals.len() as f64
+    };
+    let slow = miss_rate(90); // slower than the 60s poll
+    let fast = miss_rate(15); // 4 updates per poll interval
+    assert!(slow < 0.15, "slow workload should rarely miss (got {slow})");
+    assert!(fast > 0.5, "fast workload should miss most values (got {fast})");
+    assert!(fast > slow);
+}

@@ -1,0 +1,88 @@
+//! The `hcm::harness` post-mortem API — the one-call check downstream
+//! users run after a scenario.
+
+mod common;
+
+use common::{employees_db, RID_DST, RID_SRC};
+use hcm::core::SimTime;
+use hcm::toolkit::backends::RawStore;
+use hcm::toolkit::{ScenarioBuilder, SpontaneousOp};
+
+const STRATEGY: &str = r#"
+[locate]
+salary1 = A
+salary2 = B
+
+[strategy]
+N(salary1(n), b) -> WR(salary2(n), b) within 5s
+
+[guarantee follows]
+(salary2(n) = y) @ t1 => (salary1(n) = y) @ t2 and t2 <= t1
+
+[guarantee leads]
+(salary1(n) = x) @ t1 => (salary2(n) = x) @ t2 and t2 >= t1
+"#;
+
+#[test]
+fn post_mortem_checks_validity_and_declared_guarantees() {
+    let mut sc = ScenarioBuilder::new(8)
+        .site("A", RawStore::Relational(employees_db(&[("e1", 100)])), RID_SRC)
+        .unwrap()
+        .site("B", RawStore::Relational(employees_db(&[("e1", 100)])), RID_DST)
+        .unwrap()
+        .strategy(STRATEGY)
+        .build()
+        .unwrap();
+    sc.inject(
+        SimTime::from_secs(10),
+        "A",
+        SpontaneousOp::Sql("update employees set salary = 200 where empid = 'e1'".into()),
+    );
+    sc.run_to_quiescence();
+
+    let pm = hcm::harness::post_mortem(&sc);
+    assert!(pm.all_good(), "validity: {:#?}\nguarantees: {:#?}", pm.validity, pm.guarantees);
+    assert_eq!(pm.guarantees.len(), 2);
+    assert!(pm.guarantees.iter().any(|g| g.name == "follows"));
+    assert!(pm.trace.len() >= 4);
+    assert!(pm.validity.obligations_checked >= 3);
+}
+
+#[test]
+fn post_mortem_reports_broken_guarantees() {
+    // Sabotage: a spontaneous write at B violates its no-spontaneous-
+    // write promise AND makes `follows` false (salary2 takes a value
+    // salary1 never had).
+    let mut sc = ScenarioBuilder::new(9)
+        .site("A", RawStore::Relational(employees_db(&[("e1", 100)])), RID_SRC)
+        .unwrap()
+        .site("B", RawStore::Relational(employees_db(&[("e1", 100)])), RID_DST)
+        .unwrap()
+        .strategy(STRATEGY)
+        .build()
+        .unwrap();
+    sc.inject(
+        SimTime::from_secs(10),
+        "B",
+        SpontaneousOp::Sql("update employees set salary = 777 where empid = 'e1'".into()),
+    );
+    // Horizon pad so `leads` has settling room.
+    sc.inject(
+        SimTime::from_secs(60),
+        "A",
+        SpontaneousOp::Sql("update employees set salary = 101 where empid = 'e1'".into()),
+    );
+    sc.run_to_quiescence();
+
+    let pm = hcm::harness::post_mortem(&sc);
+    assert!(!pm.all_good());
+    // The prohibition breach shows up in validity…
+    assert!(pm
+        .validity
+        .of_property(6)
+        .iter()
+        .any(|v| v.msg.contains("prohibited")));
+    // …and the rogue value breaks `follows`.
+    let follows = pm.guarantees.iter().find(|g| g.name == "follows").unwrap();
+    assert!(!follows.holds);
+}
