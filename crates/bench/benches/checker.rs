@@ -1,8 +1,7 @@
 //! E10 bench — validity checker and guarantee evaluator costs as the
 //! trace grows, plus raw rule-engine throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use hcm_bench::scenarios;
+use hcm_bench::{harness, scenarios};
 use hcm_checker::{check_validity, guarantee::check_guarantee, RuleSet};
 use hcm_core::{Bindings, EventDesc, ItemId, SimDuration, SimTime, TemplateDesc, Term, Value};
 use hcm_rulelang::parse_guarantee;
@@ -64,7 +63,7 @@ fn print_series() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_series();
 
     let (trace, rules) = trace_of_size(60);
@@ -74,15 +73,13 @@ fn bench(c: &mut Criterion) {
     )
     .unwrap();
 
-    let mut g = c.benchmark_group("checker");
-    g.sample_size(10);
-    g.bench_function("validity", |b| {
-        b.iter(|| check_validity(&trace, &rules).violations.len());
-    });
-    g.bench_function("guarantee_follows", |b| {
-        b.iter(|| check_guarantee(&trace, &follows, None).instantiations);
-    });
-    g.finish();
+    let mut timings = Vec::new();
+    timings.push(harness::time("validity", 10, || {
+        check_validity(&trace, &rules).violations.len()
+    }));
+    timings.push(harness::time("guarantee_follows", 10, || {
+        check_guarantee(&trace, &follows, None).instantiations
+    }));
 
     // Rule-engine primitive: template matching throughput.
     let template = TemplateDesc::N {
@@ -95,21 +92,15 @@ fn bench(c: &mut Criterion) {
             value: Value::Int(i),
         })
         .collect();
-    let mut g = c.benchmark_group("rule_engine");
-    g.bench_function("match_1000_events", |b| {
-        b.iter(|| {
-            let mut hits = 0;
-            for e in &events {
-                let mut bind = Bindings::new();
-                if template.match_desc(e, &mut bind) {
-                    hits += 1;
-                }
+    timings.push(harness::time("match_1000_events", 10, || {
+        let mut hits = 0;
+        for e in &events {
+            let mut bind = Bindings::new();
+            if template.match_desc(e, &mut bind) {
+                hits += 1;
             }
-            hits
-        });
-    });
-    g.finish();
+        }
+        hits
+    }));
+    harness::report("checker", &timings);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

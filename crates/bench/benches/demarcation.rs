@@ -1,7 +1,7 @@
 //! E3 bench — Demarcation Protocol policies and the 2PC baseline:
 //! denial rates, message economy, latency, availability.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcm_bench::harness;
 use hcm_core::{SimDuration, SimTime};
 use hcm_protocols::demarcation::{self, DemarcConfig, GrantPolicy};
 use hcm_protocols::tpc;
@@ -19,7 +19,13 @@ fn workload(seed: u64, n: usize) -> Vec<(SimTime, bool, i64)> {
 }
 
 fn run_demarc(policy: GrantPolicy, ops: &[(SimTime, bool, i64)]) -> demarcation::DemarcScenario {
-    let mut d = demarcation::build(DemarcConfig { seed: 1, x0: 0, y0: 1000, line: 500, policy });
+    let mut d = demarcation::build(DemarcConfig {
+        seed: 1,
+        x0: 0,
+        y0: 1000,
+        line: 500,
+        policy,
+    });
     for &(t, lower, delta) in ops {
         d.try_update(t, lower, delta);
     }
@@ -29,12 +35,19 @@ fn run_demarc(policy: GrantPolicy, ops: &[(SimTime, bool, i64)]) -> demarcation:
 
 fn print_series() {
     let ops = workload(2024, 150);
-    eprintln!("\n[E3] demarcation policies vs 2PC baseline ({} mixed updates):", ops.len());
+    eprintln!(
+        "\n[E3] demarcation policies vs 2PC baseline ({} mixed updates):",
+        ops.len()
+    );
     eprintln!(
         "  {:<15} {:>6} {:>8} {:>10} {:>10} {:>12}",
         "scheme", "ok", "denied", "limit-reqs", "messages", "msg/ok-op"
     );
-    for policy in [GrantPolicy::Requested, GrantPolicy::HalfAvailable, GrantPolicy::All] {
+    for policy in [
+        GrantPolicy::Requested,
+        GrantPolicy::HalfAvailable,
+        GrantPolicy::All,
+    ] {
         let d = run_demarc(policy, &ops);
         assert!(d.invariant_held());
         let sx = d.stats_x.borrow();
@@ -71,38 +84,28 @@ fn print_series() {
     eprintln!("  shape: weak consistency wins msg/op and latency; both deny saturated updates.");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_series();
 
     let ops = workload(7, 150);
-    let mut g = c.benchmark_group("demarcation");
-    g.sample_size(10);
+    let mut timings = Vec::new();
     for policy in [GrantPolicy::Requested, GrantPolicy::All] {
-        g.bench_with_input(
-            BenchmarkId::new("protocol_run", format!("{policy:?}")),
-            &policy,
-            |b, &p| {
-                b.iter(|| {
-                    let d = run_demarc(p, &ops);
-                    let n = d.stats_x.borrow().attempts;
-                    n
-                });
+        timings.push(harness::time(
+            &format!("protocol_run/{policy:?}"),
+            5,
+            || {
+                let d = run_demarc(policy, &ops);
+                d.stats_x.borrow().attempts
             },
-        );
+        ));
     }
-    g.bench_function("tpc_run", |b| {
-        b.iter(|| {
-            let mut t = tpc::build(7, 0, 1000);
-            for &(at, lower, delta) in &ops {
-                t.try_update(at, lower, delta);
-            }
-            t.run();
-            let n = t.stats.borrow().submitted;
-            n
-        });
-    });
-    g.finish();
+    timings.push(harness::time("tpc_run", 5, || {
+        let mut t = tpc::build(7, 0, 1000);
+        for &(at, lower, delta) in &ops {
+            t.try_update(at, lower, delta);
+        }
+        t.run();
+        t.stats.borrow().submitted
+    }));
+    harness::report("demarcation", &timings);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

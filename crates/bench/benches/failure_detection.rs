@@ -1,7 +1,7 @@
 //! E7 bench — failure detection (§5): detection latency vs the
 //! configured deadline, and the cost of failure episodes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hcm_bench::harness;
 use hcm_core::{EventDesc, SimDuration, SimTime, Value};
 use hcm_toolkit::backends::RawStore;
 use hcm_toolkit::shell::FailureConfig;
@@ -9,9 +9,17 @@ use hcm_toolkit::{Scenario, ScenarioBuilder, SpontaneousOp};
 
 fn scenario_with_deadline(seed: u64, deadline_ms: u64) -> Scenario {
     let mut sc = ScenarioBuilder::new(seed)
-        .site("A", RawStore::Relational(hcm_bench::scenarios::employees(1)), hcm_bench::scenarios::RID_SRC)
+        .site(
+            "A",
+            RawStore::Relational(hcm_bench::scenarios::employees(1)),
+            hcm_bench::scenarios::RID_SRC,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(hcm_bench::scenarios::employees(1)), hcm_bench::scenarios::RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(hcm_bench::scenarios::employees(1)),
+            hcm_bench::scenarios::RID_DST,
+        )
         .unwrap()
         .strategy(hcm_bench::scenarios::PROPAGATE)
         .failure_config(FailureConfig {
@@ -59,21 +67,13 @@ fn print_series() {
     eprintln!("  toolkit makes timeout constants explicit as metric guarantees (§5).");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_series();
 
-    let mut g = c.benchmark_group("failure");
-    g.sample_size(10);
-    g.bench_function("overload_episode", |b| {
-        b.iter(|| {
-            let mut sc = scenario_with_deadline(9, 5_000);
-            sc.run_to_quiescence();
-            let n = sc.site("B").shell_stats.borrow().metric_failures_detected;
-            n
-        });
-    });
-    g.finish();
+    let timings = [harness::time("overload_episode", 5, || {
+        let mut sc = scenario_with_deadline(9, 5_000);
+        sc.run_to_quiescence();
+        sc.site("B").shell_stats.borrow().metric_failures_detected
+    })];
+    harness::report("failure_detection", &timings);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! conditional notify suppression, cached propagation, periodic notify
 //! cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hcm_bench::harness;
 use hcm_core::{ItemId, SimTime, Value};
 use hcm_toolkit::backends::RawStore;
 use hcm_toolkit::{Scenario, ScenarioBuilder, SpontaneousOp};
@@ -38,9 +38,17 @@ col = salary
 /// Random-walk workload: mostly small (±1–3 %) moves, occasional jumps.
 fn run_with_rid(rid_src: &str, seed: u64) -> Scenario {
     let mut sc = ScenarioBuilder::new(seed)
-        .site("A", RawStore::Relational(hcm_bench::scenarios::employees(1)), rid_src)
+        .site(
+            "A",
+            RawStore::Relational(hcm_bench::scenarios::employees(1)),
+            rid_src,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(hcm_bench::scenarios::employees(1)), hcm_bench::scenarios::RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(hcm_bench::scenarios::employees(1)),
+            hcm_bench::scenarios::RID_DST,
+        )
         .unwrap()
         .strategy(hcm_bench::scenarios::PROPAGATE)
         .build()
@@ -48,7 +56,11 @@ fn run_with_rid(rid_src: &str, seed: u64) -> Scenario {
     let mut rng = hcm_simkit::SimRng::seeded(seed * 11);
     let mut v: i64 = 100_000;
     for i in 0..60u64 {
-        let frac = if rng.chance(0.15) { rng.int_in(15, 40) } else { rng.int_in(1, 8) };
+        let frac = if rng.chance(0.15) {
+            rng.int_in(15, 40)
+        } else {
+            rng.int_in(1, 8)
+        };
         let sign = if rng.chance(0.5) { 1 } else { -1 };
         v = (v + sign * v * frac / 100).max(10_000);
         sc.inject(
@@ -119,20 +131,17 @@ fn print_series() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_series();
 
-    let mut g = c.benchmark_group("interface_modes");
-    g.sample_size(10);
-    g.bench_function("plain_notify_60_updates", |b| {
-        b.iter(|| run_with_rid(RID_PLAIN, 9).trace().len());
-    });
-    g.bench_function("conditional_notify_60_updates", |b| {
-        let rid = RID_COND_TMPL.replace("FRAC", "0.1");
-        b.iter(|| run_with_rid(&rid, 9).trace().len());
-    });
-    g.finish();
+    let rid = RID_COND_TMPL.replace("FRAC", "0.1");
+    let timings = [
+        harness::time("plain_notify_60_updates", 5, || {
+            run_with_rid(RID_PLAIN, 9).trace().len()
+        }),
+        harness::time("conditional_notify_60_updates", 5, || {
+            run_with_rid(&rid, 9).trace().len()
+        }),
+    ];
+    harness::report("interface_modes", &timings);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

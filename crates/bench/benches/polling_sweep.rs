@@ -5,7 +5,7 @@
 //! exactly when updates outpace the polling interval; guarantees (1),
 //! (3), (4) survive at every point of the sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcm_bench::harness;
 use hcm_core::{ItemId, SimDuration, SimTime, Value};
 use hcm_toolkit::backends::RawStore;
 use hcm_toolkit::{Scenario, ScenarioBuilder, SpontaneousOp};
@@ -30,9 +30,17 @@ fn polling_scenario(seed: u64, poll_secs: u64, update_gap: u64, horizon: u64) ->
          R(salary1(n), b) -> WR(salary2(n), b) within 5s\n"
     );
     let mut sc = ScenarioBuilder::new(seed)
-        .site("A", RawStore::Relational(hcm_bench::scenarios::employees(1)), RID_SRC_READONLY)
+        .site(
+            "A",
+            RawStore::Relational(hcm_bench::scenarios::employees(1)),
+            RID_SRC_READONLY,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(hcm_bench::scenarios::employees(1)), hcm_bench::scenarios::RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(hcm_bench::scenarios::employees(1)),
+            hcm_bench::scenarios::RID_DST,
+        )
         .unwrap()
         .strategy(&strategy)
         .stop_periodics_at(SimTime::from_secs(horizon))
@@ -56,15 +64,22 @@ fn polling_scenario(seed: u64, poll_secs: u64, update_gap: u64, horizon: u64) ->
 
 fn miss_rate(sc: &Scenario) -> f64 {
     let trace = sc.trace();
-    let x = trace.timeline(&ItemId::with("salary1", [Value::from("e0")])).values_taken();
-    let y = trace.timeline(&ItemId::with("salary2", [Value::from("e0")])).values_taken();
+    let x = trace
+        .timeline(&ItemId::with("salary1", [Value::from("e0")]))
+        .values_taken();
+    let y = trace
+        .timeline(&ItemId::with("salary2", [Value::from("e0")]))
+        .values_taken();
     let missed = x.iter().filter(|v| !y.contains(v)).count();
     missed as f64 / x.len() as f64
 }
 
 fn print_series() {
     eprintln!("\n[E2] polling miss-rate sweep (poll period 60s):");
-    eprintln!("  {:<22} {:>10} {:>18}", "update gap (s)", "miss rate", "guarantee (2)");
+    eprintln!(
+        "  {:<22} {:>10} {:>18}",
+        "update gap (s)", "miss rate", "guarantee (2)"
+    );
     for gap in [120u64, 60, 30, 15, 5] {
         let mut sc = polling_scenario(3, 60, gap, 2400);
         sc.run_to_quiescence();
@@ -88,7 +103,9 @@ fn print_series() {
         // the W that lands that value on salary2.
         let mut worst = SimDuration::ZERO;
         for e in trace.events() {
-            let hcm_core::EventDesc::Ws { new, .. } = &e.desc else { continue };
+            let hcm_core::EventDesc::Ws { new, .. } = &e.desc else {
+                continue;
+            };
             if let Some(w) = trace.events().iter().find(|w| {
                 matches!(&w.desc, hcm_core::EventDesc::W { item, value }
                     if item.base == "salary2" && value == new)
@@ -99,27 +116,29 @@ fn print_series() {
                 }
             }
         }
-        eprintln!("  {:<22} {:>16.1}", period, worst.as_millis() as f64 / 1000.0);
+        eprintln!(
+            "  {:<22} {:>16.1}",
+            period,
+            worst.as_millis() as f64 / 1000.0
+        );
     }
     eprintln!("  shape: staleness grows linearly with the poll period (κ ≈ period + bounds).");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_series();
 
-    let mut g = c.benchmark_group("polling");
-    g.sample_size(10);
+    let mut timings = Vec::new();
     for period in [30u64, 120] {
-        g.bench_with_input(BenchmarkId::new("simulate_40min", period), &period, |b, &p| {
-            b.iter(|| {
-                let mut sc = polling_scenario(9, p, 45, 2400);
+        timings.push(harness::time(
+            &format!("simulate_40min/{period}"),
+            5,
+            || {
+                let mut sc = polling_scenario(9, period, 45, 2400);
                 sc.run_to_quiescence();
                 sc.trace().len()
-            });
-        });
+            },
+        ));
     }
-    g.finish();
+    harness::report("polling", &timings);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,19 +1,14 @@
 //! E1 bench — update propagation (§4.2): end-to-end latency series and
 //! engine throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hcm_bench::scenarios;
+use hcm_bench::{harness, scenarios};
 use hcm_core::{SimDuration, SimTime};
 
 /// Print the E1 series: per-update propagation latency (Ws → W)
 /// distribution for the notify+write deployment.
 fn print_series() {
-    let mut sc = scenarios::salary_scenario(
-        1,
-        10,
-        SimDuration::from_secs(20),
-        SimTime::from_secs(4000),
-    );
+    let mut sc =
+        scenarios::salary_scenario(1, 10, SimDuration::from_secs(20), SimTime::from_secs(4000));
     sc.run_to_quiescence();
     let trace = sc.trace();
     let mut latencies: Vec<u64> = Vec::new();
@@ -39,35 +34,36 @@ fn print_series() {
     eprintln!("  updates propagated : {}", latencies.len());
     eprintln!("  latency p50        : {} ms", pct(50));
     eprintln!("  latency p95        : {} ms", pct(95));
-    eprintln!("  latency max        : {} ms (bound: 8000 ms)", latencies.last().unwrap());
+    eprintln!(
+        "  latency max        : {} ms (bound: 8000 ms)",
+        latencies.last().unwrap()
+    );
     assert!(*latencies.last().unwrap() < 8_000);
+    eprintln!("\n[E1] observability snapshot (hcm-obs registry):");
+    for line in sc.metrics_table().lines() {
+        eprintln!("  {line}");
+    }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_series();
 
-    let mut g = c.benchmark_group("propagation");
-    g.sample_size(10);
+    let mut timings = Vec::new();
     for employees in [1usize, 10, 50] {
-        g.bench_with_input(
-            BenchmarkId::new("simulate_1h", employees),
-            &employees,
-            |b, &n| {
-                b.iter(|| {
-                    let mut sc = scenarios::salary_scenario(
-                        7,
-                        n,
-                        SimDuration::from_secs(30),
-                        SimTime::from_secs(3600),
-                    );
-                    sc.run_to_quiescence();
-                    sc.trace().len()
-                });
+        timings.push(harness::time(
+            &format!("simulate_1h/{employees}"),
+            5,
+            || {
+                let mut sc = scenarios::salary_scenario(
+                    7,
+                    employees,
+                    SimDuration::from_secs(30),
+                    SimTime::from_secs(3600),
+                );
+                sc.run_to_quiescence();
+                sc.trace().len()
             },
-        );
+        ));
     }
-    g.finish();
+    harness::report("propagation", &timings);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,16 +1,105 @@
 //! # hcm-bench — the experiment harness
 //!
-//! One Criterion bench target per experiment of `EXPERIMENTS.md`. Each
-//! target does two things:
+//! One self-contained bench target per experiment of `EXPERIMENTS.md`
+//! (`harness = false`; no external bench framework — the container has
+//! no registry access). Each target does two things:
 //!
 //! 1. prints the experiment's **series table** (the reproduction of the
 //!    paper's qualitative claims as numbers — miss rates, message
 //!    counts, latencies, detection times) once at startup;
-//! 2. benchmarks the underlying machinery with Criterion (simulation
-//!    throughput, rule-engine and checker costs).
+//! 2. wall-clock-times the underlying machinery with [`harness::time`]
+//!    (simulation throughput, rule-engine and checker costs) and emits
+//!    a `BENCH_<name>.json` report under `target/`.
 //!
 //! Run everything with `cargo bench --workspace`; the tables land on
 //! stderr and in `EXPERIMENTS.md`'s measured columns.
+
+/// Minimal wall-clock bench harness replacing the former Criterion
+/// targets: run a closure N times, keep mean/min, render a table plus a
+/// hand-rolled `BENCH_<name>.json` (same no-serde policy as `hcm-obs`).
+pub mod harness {
+    use std::time::Instant;
+
+    /// One timed case.
+    pub struct Timing {
+        /// Case label, e.g. `simulate_1h/10`.
+        pub name: String,
+        /// Mean wall-clock milliseconds over the samples.
+        pub mean_ms: f64,
+        /// Fastest sample in milliseconds.
+        pub min_ms: f64,
+        /// Sample count.
+        pub samples: u32,
+    }
+
+    /// Time `f` over `samples` runs (after one untimed warm-up).
+    pub fn time<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) -> Timing {
+        std::hint::black_box(f());
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            total += ms;
+            min = min.min(ms);
+        }
+        Timing {
+            name: name.to_string(),
+            mean_ms: total / f64::from(samples),
+            min_ms: min,
+            samples,
+        }
+    }
+
+    /// Print the timing table to stderr and write
+    /// `target/BENCH_<bench>.json` (best effort — a read-only target
+    /// dir only costs the file, not the run).
+    pub fn report(bench: &str, timings: &[Timing]) {
+        eprintln!(
+            "
+[bench:{bench}]"
+        );
+        eprintln!(
+            "  {:<40} {:>12} {:>12} {:>8}",
+            "case", "mean (ms)", "min (ms)", "n"
+        );
+        for t in timings {
+            eprintln!(
+                "  {:<40} {:>12.2} {:>12.2} {:>8}",
+                t.name, t.mean_ms, t.min_ms, t.samples
+            );
+        }
+        let json = to_json(bench, timings);
+        // Bench binaries run with the package dir as cwd; anchor the
+        // report in the workspace target dir instead.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join(format!("BENCH_{bench}.json"));
+        if std::fs::write(&path, &json).is_ok() {
+            eprintln!("  wrote {}", path.display());
+        }
+    }
+
+    /// Render the report as JSON (hand-rolled; labels are ASCII
+    /// identifiers so plain escaping suffices).
+    #[must_use]
+    pub fn to_json(bench: &str, timings: &[Timing]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"bench\":\"{bench}\",\"cases\":["));
+        for (i, t) in timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"mean_ms\":{:.3},\"min_ms\":{:.3},\"samples\":{}}}",
+                t.name, t.mean_ms, t.min_ms, t.samples
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
 
 /// Common scenario builders shared by the bench targets.
 pub mod scenarios {
@@ -67,8 +156,11 @@ N(salary1(n), b) -> WR(salary2(n), b) within 5s
         let mut db = hcm_ris::relational::Database::new();
         db.create_table("employees", &["empid", "salary"]).unwrap();
         for i in 0..n {
-            db.execute(&format!("INSERT INTO employees VALUES ('e{i}', {})", 1000 + i))
-                .unwrap();
+            db.execute(&format!(
+                "INSERT INTO employees VALUES ('e{i}', {})",
+                1000 + i
+            ))
+            .unwrap();
         }
         db
     }

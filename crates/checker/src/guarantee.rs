@@ -82,7 +82,10 @@ struct Env {
 
 impl Env {
     fn new() -> Self {
-        Env { vars: BTreeMap::new(), times: BTreeMap::new() }
+        Env {
+            vars: BTreeMap::new(),
+            times: BTreeMap::new(),
+        }
     }
 
     fn describe(&self) -> String {
@@ -182,14 +185,26 @@ impl<'a> Evaluator<'a> {
                         .collect(),
                 };
                 let key = (
-                    projected.vars.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
-                    projected.times.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                    projected
+                        .vars
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                    projected
+                        .times
+                        .iter()
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect(),
                 );
                 let holds = *memo.entry(key).or_insert_with(|| {
-                    !self.solve(&g.rhs, vec![projected], &static_cands, false).is_empty()
+                    !self
+                        .solve(&g.rhs, vec![projected], &static_cands, false)
+                        .is_empty()
                 });
                 if !holds && violations.len() < MAX_VIOLATIONS {
-                    violations.push(GuaranteeViolation { instantiation: env.describe() });
+                    violations.push(GuaranteeViolation {
+                        instantiation: env.describe(),
+                    });
                 }
             }
         }
@@ -261,7 +276,9 @@ impl<'a> Evaluator<'a> {
             // other side's value, corrected for `v`'s own offset, with
             // ±1 ms for strictness.
             for other in all_atoms {
-                let GAtom::TimeCmp(a, _, b) = other else { continue };
+                let GAtom::TimeCmp(a, _, b) = other else {
+                    continue;
+                };
                 let sides = [(a, b), (b, a)];
                 for (mine, theirs) in sides {
                     let my_shift = match mine {
@@ -344,8 +361,7 @@ impl<'a> Evaluator<'a> {
                 }
             }
             GAtom::Throughout(cond, a, b) => {
-                let (Some(ta), Some(tb)) = (resolve_signed(a, env), resolve_signed(b, env))
-                else {
+                let (Some(ta), Some(tb)) = (resolve_signed(a, env), resolve_signed(b, env)) else {
                     return;
                 };
                 if ta > tb {
@@ -365,8 +381,7 @@ impl<'a> Evaluator<'a> {
                 }
             }
             GAtom::Sometime(cond, a, b) => {
-                let (Some(ta), Some(tb)) = (resolve_signed(a, env), resolve_signed(b, env))
-                else {
+                let (Some(ta), Some(tb)) = (resolve_signed(a, env), resolve_signed(b, env)) else {
                     return;
                 };
                 if ta > tb || tb < 0 {
@@ -415,20 +430,30 @@ impl<'a> Evaluator<'a> {
                 }
             }
             Cond::Exists(pattern) => {
-                let at = AtTime { idx: &self.idx, t, env };
-                if Expr::Item(pattern.clone()).eval(&at).is_some_and(|v| v.exists()) {
+                let at = AtTime {
+                    idx: &self.idx,
+                    t,
+                    env,
+                };
+                if Expr::Item(pattern.clone())
+                    .eval(&at)
+                    .is_some_and(|v| v.exists())
+                {
                     out.push(env.clone());
                 }
             }
             Cond::Cmp(a, op, b) => {
-                let at = AtTime { idx: &self.idx, t, env };
+                let at = AtTime {
+                    idx: &self.idx,
+                    t,
+                    env,
+                };
                 let va = a.eval(&at);
                 let vb = b.eval(&at);
                 match (va, vb) {
-                    (Some(va), Some(vb))
-                        if op.apply(&va, &vb).unwrap_or(false) => {
-                            out.push(env.clone());
-                        }
+                    (Some(va), Some(vb)) if op.apply(&va, &vb).unwrap_or(false) => {
+                        out.push(env.clone());
+                    }
                     (Some(v), None) if allow_bind && *op == CmpOp::Eq => {
                         if let Expr::Var(name) = b {
                             let mut e = env.clone();
@@ -485,9 +510,14 @@ impl<'a> Evaluator<'a> {
             }
         }
 
+        // Base instants where any atom's truth can change. These are
+        // shared across all time variables: a time comparison can link
+        // one variable's window to another atom's item breakpoints (a
+        // universal `t1` fails exactly when `t1 - κ` crosses a change
+        // point of the *witness* item), so per-atom candidate sets are
+        // not sound.
+        let mut base_ts: BTreeSet<SimTime> = [SimTime::ZERO, self.horizon].into_iter().collect();
         for atom in g.lhs.iter().chain(&g.rhs) {
-            // Base instants where this atom's truth can change.
-            let mut base_ts: BTreeSet<SimTime> = [SimTime::ZERO, self.horizon].into_iter().collect();
             match atom {
                 GAtom::At(c, _) | GAtom::Throughout(c, _, _) | GAtom::Sometime(c, _, _) => {
                     for base in cond_bases(c) {
@@ -505,6 +535,9 @@ impl<'a> Evaluator<'a> {
                     }
                 }
             }
+        }
+
+        for atom in g.lhs.iter().chain(&g.rhs) {
             let tes: Vec<&TimeExpr> = match atom {
                 GAtom::At(_, t) => vec![t],
                 GAtom::Throughout(_, a, b) | GAtom::Sometime(_, a, b) => vec![a, b],
@@ -531,7 +564,10 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
-        per_var.into_iter().map(|(k, v)| (k, v.into_iter().collect())).collect()
+        per_var
+            .into_iter()
+            .map(|(k, v)| (k, v.into_iter().collect()))
+            .collect()
     }
 
     /// Candidate values for parameter variables: the values appearing
@@ -563,7 +599,9 @@ impl<'a> Evaluator<'a> {
                 GAtom::TimeCmp(..) => {}
             }
         }
-        out.into_iter().map(|(k, v)| (k, v.into_iter().collect())).collect()
+        out.into_iter()
+            .map(|(k, v)| (k, v.into_iter().collect()))
+            .collect()
     }
 }
 
@@ -741,7 +779,11 @@ mod tests {
         tr.push(
             SimTime::from_secs(t),
             SiteId::new(0),
-            EventDesc::Ws { item, old: old.clone(), new: Value::Int(v) },
+            EventDesc::Ws {
+                item,
+                old: old.clone(),
+                new: Value::Int(v),
+            },
             old,
             None,
             None,
@@ -846,7 +888,10 @@ mod tests {
         )
         .unwrap();
         let r = check_guarantee(&tr2, &narrow, None);
-        assert!(!r.holds, "Y holds a value X last had 9s ago; κ = 5s must fail");
+        assert!(
+            !r.holds,
+            "Y holds a value X last had 9s ago; κ = 5s must fail"
+        );
         let wide2 = parse_guarantee(
             "m",
             "(Y = y) @ t1 => (X = y) @ t2 and t1 - 60s < t2 and t2 <= t1",
@@ -877,7 +922,10 @@ mod tests {
         write(&mut tr2, 20, "X", 9);
         write(&mut tr2, 60, "Pad", 1);
         let r2 = check_guarantee(&tr2, &g, None);
-        assert!(!r2.holds, "Flag=true while X≠Y must violate the monitor guarantee");
+        assert!(
+            !r2.holds,
+            "Flag=true while X≠Y must violate the monitor guarantee"
+        );
     }
 
     #[test]
@@ -907,7 +955,11 @@ mod tests {
         tr.push(
             SimTime::from_secs(100),
             SiteId::new(0),
-            EventDesc::Ws { item: proj.clone(), old: None, new: Value::Int(1) },
+            EventDesc::Ws {
+                item: proj.clone(),
+                old: None,
+                new: Value::Int(1),
+            },
             None,
             None,
             None,
@@ -915,7 +967,11 @@ mod tests {
         tr.push(
             SimTime::from_secs(110),
             SiteId::new(1),
-            EventDesc::Ws { item: sal.clone(), old: None, new: Value::Int(50) },
+            EventDesc::Ws {
+                item: sal.clone(),
+                old: None,
+                new: Value::Int(50),
+            },
             None,
             None,
             None,
@@ -946,7 +1002,11 @@ mod tests {
         tr2.push(
             SimTime::from_secs(400),
             SiteId::new(0),
-            EventDesc::Ws { item: ItemId::plain("Pad"), old: None, new: Value::Int(0) },
+            EventDesc::Ws {
+                item: ItemId::plain("Pad"),
+                old: None,
+                new: Value::Int(0),
+            },
             None,
             None,
             None,
@@ -974,7 +1034,11 @@ mod tests {
             tr.push(
                 SimTime::from_secs(t),
                 SiteId::new(0),
-                EventDesc::Ws { item, old: old.clone(), new: Value::Int(v) },
+                EventDesc::Ws {
+                    item,
+                    old: old.clone(),
+                    new: Value::Int(v),
+                },
                 old,
                 None,
                 None,
@@ -995,13 +1059,20 @@ mod tests {
         tr2.push(
             SimTime::from_secs(30),
             SiteId::new(0),
-            EventDesc::Ws { item, old: old.clone(), new: Value::Int(200) },
+            EventDesc::Ws {
+                item,
+                old: old.clone(),
+                new: Value::Int(200),
+            },
             old,
             None,
             None,
         );
         let r2 = check_guarantee(&tr2, &g, None);
-        assert!(!r2.holds, "salary2(e1)=200 was never a value of salary1(e1)");
+        assert!(
+            !r2.holds,
+            "salary2(e1)=200 was never a value of salary1(e1)"
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! of the database offering them; strategy rules carry the LHS/RHS
 //! site placement computed at initialization).
 
+use hcm_core::SimDuration;
 use hcm_core::{RuleId, SiteId, TemplateDesc};
 use hcm_rulelang::{Cond, InterfaceStmt, RhsStep, StrategyRule};
-use hcm_core::SimDuration;
 
 /// A uniform view of one rule for the checker: LHS template +
 /// condition, sequenced RHS, bound, and site placement.
@@ -52,7 +52,10 @@ impl RuleSet {
             id,
             lhs: stmt.lhs.clone(),
             cond: stmt.cond.clone(),
-            steps: vec![RhsStep { cond: Cond::True, event: stmt.rhs.clone() }],
+            steps: vec![RhsStep {
+                cond: Cond::True,
+                event: stmt.rhs.clone(),
+            }],
             bound: stmt.bound,
             lhs_site: site,
             rhs_site: site,

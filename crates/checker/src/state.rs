@@ -33,10 +33,16 @@ impl StateIndex {
         }
         for (i, e) in trace.events().iter().enumerate() {
             if let Some((item, v)) = e.desc.write_effect() {
-                changes.entry(item.clone()).or_default().push((e.time, i, v.clone()));
+                changes
+                    .entry(item.clone())
+                    .or_default()
+                    .push((e.time, i, v.clone()));
             }
         }
-        StateIndex { changes, end: trace.end_time() }
+        StateIndex {
+            changes,
+            end: trace.end_time(),
+        }
     }
 
     /// The value of `item` at `t` (`None` when underspecified).
@@ -87,8 +93,11 @@ impl StateIndex {
     /// All items with a given base name.
     #[must_use]
     pub fn items_with_base(&self, base: &str) -> Vec<&ItemId> {
-        let mut v: Vec<&ItemId> =
-            self.changes.keys().filter(|item| item.base == base).collect();
+        let mut v: Vec<&ItemId> = self
+            .changes
+            .keys()
+            .filter(|item| item.base == base)
+            .collect();
         v.sort();
         v
     }
@@ -113,7 +122,11 @@ mod tests {
             tr.push(
                 SimTime::from_secs(t),
                 SiteId::new(0),
-                EventDesc::Ws { item: x.clone(), old: None, new: Value::Int(v) },
+                EventDesc::Ws {
+                    item: x.clone(),
+                    old: None,
+                    new: Value::Int(v),
+                },
                 None,
                 None,
                 None,
@@ -134,7 +147,10 @@ mod tests {
                 "mismatch at t={t}"
             );
         }
-        assert_eq!(idx.value_at(&x, SimTime::from_secs(20)), Some(&Value::Int(3)));
+        assert_eq!(
+            idx.value_at(&x, SimTime::from_secs(20)),
+            Some(&Value::Int(3))
+        );
         assert_eq!(idx.value_at(&ItemId::plain("Z"), SimTime::ZERO), None);
     }
 

@@ -113,13 +113,14 @@ fn bind_from_cond(cond: &Cond, idx: &StateIndex, t: SimTime, bindings: &mut Bind
         }
         Cond::Cmp(Expr::Item(p), hcm_rulelang::CmpOp::Eq, Expr::Var(v))
         | Cond::Cmp(Expr::Var(v), hcm_rulelang::CmpOp::Eq, Expr::Item(p))
-            if bindings.get(v).is_none() => {
-                if let Some(item) = p.instantiate(bindings) {
-                    if let Some(val) = idx.value_at(&item, t) {
-                        bindings.bind(v.clone(), val.clone());
-                    }
+            if bindings.get(v).is_none() =>
+        {
+            if let Some(item) = p.instantiate(bindings) {
+                if let Some(val) = idx.value_at(&item, t) {
+                    bindings.bind(v.clone(), val.clone());
                 }
             }
+        }
         _ => {}
     }
 }
@@ -180,7 +181,9 @@ pub fn check_validity(trace: &Trace, rules: &RuleSet) -> ValidityReport {
                     msg: format!("spontaneous event {} carries rule/trigger", e.desc),
                 });
             }
-        } else if !matches!(e.desc, EventDesc::Custom { .. }) && (e.rule.is_none() || e.trigger.is_none()) {
+        } else if !matches!(e.desc, EventDesc::Custom { .. })
+            && (e.rule.is_none() || e.trigger.is_none())
+        {
             // Custom events may be injected by protocol drivers
             // (spontaneous from the CM's standpoint); all core
             // generated kinds must carry provenance.
@@ -194,7 +197,9 @@ pub fn check_validity(trace: &Trace, rules: &RuleSet) -> ValidityReport {
 
     // ---- Property 5: causality -------------------------------------------
     for e in events {
-        let (Some(rule_id), Some(trigger_id)) = (e.rule, e.trigger) else { continue };
+        let (Some(rule_id), Some(trigger_id)) = (e.rule, e.trigger) else {
+            continue;
+        };
         let Some(rule) = rules.get(rule_id) else {
             report.violations.push(Violation {
                 property: 5,
@@ -237,8 +242,7 @@ pub fn check_validity(trace: &Trace, rules: &RuleSet) -> ValidityReport {
         // parameterized periodic interfaces (`P(p) ∧ wphone(n) = b →
         // N(wphone(n), b)`) bind `n` and `b` only through the generated
         // event.
-        let refusal =
-            matches!(&e.desc, EventDesc::Custom { name, .. } if name == "WriteRejected");
+        let refusal = matches!(&e.desc, EventDesc::Custom { name, .. } if name == "WriteRejected");
         let mut template_matched = refusal;
         let mut explained = refusal;
         for step in &rule.steps {
@@ -321,8 +325,7 @@ pub fn check_validity(trace: &Trace, rules: &RuleSet) -> ValidityReport {
                         return false;
                     }
                     let mut b = bindings.clone();
-                    e.desc.match_kind_of(&step.event)
-                        && step.event.match_desc(&e.desc, &mut b)
+                    e.desc.match_kind_of(&step.event) && step.event.match_desc(&e.desc, &mut b)
                 });
                 if fulfilled {
                     continue;
@@ -341,9 +344,7 @@ pub fn check_validity(trace: &Trace, rules: &RuleSet) -> ValidityReport {
                         if t >= window_end {
                             break;
                         }
-                        t = SimTime::from_millis(
-                            (t.as_millis() + 1).min(window_end.as_millis()),
-                        );
+                        t = SimTime::from_millis((t.as_millis() + 1).min(window_end.as_millis()));
                         // Jump between salient instants would be an
                         // optimization; windows are short.
                     }
@@ -377,10 +378,14 @@ pub fn check_validity(trace: &Trace, rules: &RuleSet) -> ValidityReport {
     // ---- Property 7: in-order related rules --------------------------------
     let related = rules.related_pairs();
     for (ra, rb) in related {
-        let fa: Vec<&Event> =
-            events.iter().filter(|e| e.rule == Some(ra) && e.trigger.is_some()).collect();
-        let fb: Vec<&Event> =
-            events.iter().filter(|e| e.rule == Some(rb) && e.trigger.is_some()).collect();
+        let fa: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.rule == Some(ra) && e.trigger.is_some())
+            .collect();
+        let fb: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.rule == Some(rb) && e.trigger.is_some())
+            .collect();
         for e2 in &fa {
             let t1 = trace.get(e2.trigger.expect("filtered")).map(|t| t.time);
             for e4 in &fb {
@@ -492,7 +497,11 @@ mod tests {
         let ws = tr.push(
             SimTime::from_secs(10),
             A,
-            EventDesc::Ws { item: x(), old: Some(Value::Int(0)), new: Value::Int(5) },
+            EventDesc::Ws {
+                item: x(),
+                old: Some(Value::Int(0)),
+                new: Value::Int(5),
+            },
             Some(Value::Int(0)),
             None,
             None,
@@ -500,7 +509,10 @@ mod tests {
         let n = tr.push(
             SimTime::from_millis(10_500),
             A,
-            EventDesc::N { item: x(), value: Value::Int(5) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(5),
+            },
             None,
             Some(RuleId(0)),
             Some(ws),
@@ -508,7 +520,10 @@ mod tests {
         let wr = tr.push(
             SimTime::from_millis(11_000),
             B,
-            EventDesc::Wr { item: y(), value: Value::Int(5) },
+            EventDesc::Wr {
+                item: y(),
+                value: Value::Int(5),
+            },
             None,
             Some(RuleId(2)),
             Some(n),
@@ -516,7 +531,10 @@ mod tests {
         tr.push(
             SimTime::from_millis(11_300),
             B,
-            EventDesc::W { item: y(), value: Value::Int(5) },
+            EventDesc::W {
+                item: y(),
+                value: Value::Int(5),
+            },
             Some(Value::Int(0)),
             Some(RuleId(1)),
             Some(wr),
@@ -537,7 +555,11 @@ mod tests {
         tr.push(
             SimTime::from_secs(1), // earlier than the last event
             A,
-            EventDesc::Ws { item: x(), old: None, new: Value::Int(9) },
+            EventDesc::Ws {
+                item: x(),
+                old: None,
+                new: Value::Int(9),
+            },
             None,
             None,
             None,
@@ -553,7 +575,11 @@ mod tests {
         tr.push(
             SimTime::from_secs(20),
             A,
-            EventDesc::Ws { item: x(), old: Some(Value::Int(42)), new: Value::Int(6) },
+            EventDesc::Ws {
+                item: x(),
+                old: Some(Value::Int(42)),
+                new: Value::Int(6),
+            },
             Some(Value::Int(42)),
             None,
             None,
@@ -568,7 +594,11 @@ mod tests {
         tr.push(
             SimTime::from_secs(1),
             A,
-            EventDesc::Ws { item: x(), old: None, new: Value::Int(1) },
+            EventDesc::Ws {
+                item: x(),
+                old: None,
+                new: Value::Int(1),
+            },
             None,
             Some(RuleId(0)), // spontaneous events must not carry a rule
             None,
@@ -583,7 +613,10 @@ mod tests {
         tr.push(
             SimTime::from_secs(1),
             A,
-            EventDesc::N { item: x(), value: Value::Int(1) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(1),
+            },
             None,
             None,
             None,
@@ -601,7 +634,11 @@ mod tests {
         let ws = tr.push(
             SimTime::from_secs(10),
             A,
-            EventDesc::Ws { item: x(), old: Some(Value::Int(0)), new: Value::Int(5) },
+            EventDesc::Ws {
+                item: x(),
+                old: Some(Value::Int(0)),
+                new: Value::Int(5),
+            },
             Some(Value::Int(0)),
             None,
             None,
@@ -610,13 +647,19 @@ mod tests {
         tr.push(
             SimTime::from_secs(17),
             A,
-            EventDesc::N { item: x(), value: Value::Int(5) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(5),
+            },
             None,
             Some(RuleId(0)),
             Some(ws),
         );
         let report = check_validity(&tr, &salary_rules());
-        assert!(report.of_property(5).iter().any(|v| v.msg.contains("exceeds bound")));
+        assert!(report
+            .of_property(5)
+            .iter()
+            .any(|v| v.msg.contains("exceeds bound")));
         // The late event *also* leaves the obligation formally
         // unfulfilled inside the window.
         assert!(!report.of_property(6).is_empty());
@@ -628,7 +671,11 @@ mod tests {
         let ws = tr.push(
             SimTime::from_secs(10),
             A,
-            EventDesc::Ws { item: x(), old: None, new: Value::Int(5) },
+            EventDesc::Ws {
+                item: x(),
+                old: None,
+                new: Value::Int(5),
+            },
             None,
             None,
             None,
@@ -638,7 +685,10 @@ mod tests {
         tr.push(
             SimTime::from_millis(10_500),
             A,
-            EventDesc::N { item: x(), value: Value::Int(7) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(7),
+            },
             None,
             Some(RuleId(0)),
             Some(ws),
@@ -656,13 +706,19 @@ mod tests {
         tr.push(
             SimTime::from_secs(1),
             A,
-            EventDesc::N { item: x(), value: Value::Int(1) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(1),
+            },
             None,
             Some(RuleId(0)),
             Some(EventId(99)),
         );
         let report = check_validity(&tr, &salary_rules());
-        assert!(report.of_property(5).iter().any(|v| v.msg.contains("missing trigger")));
+        assert!(report
+            .of_property(5)
+            .iter()
+            .any(|v| v.msg.contains("missing trigger")));
     }
 
     #[test]
@@ -672,35 +728,45 @@ mod tests {
         tr.push(
             SimTime::from_secs(10),
             A,
-            EventDesc::Ws { item: x(), old: Some(Value::Int(0)), new: Value::Int(5) },
+            EventDesc::Ws {
+                item: x(),
+                old: Some(Value::Int(0)),
+                new: Value::Int(5),
+            },
             Some(Value::Int(0)),
             None,
             None,
         );
         // No N follows: the notify interface's obligation is broken.
         let report = check_validity(&tr, &salary_rules());
-        assert!(report.of_property(6).iter().any(|v| v.msg.contains("unfulfilled")));
+        assert!(report
+            .of_property(6)
+            .iter()
+            .any(|v| v.msg.contains("unfulfilled")));
     }
 
     #[test]
     fn p6_prohibition() {
         let mut rs = salary_rules();
-        rs.add_interface(
-            RuleId(3),
-            B,
-            &parse_interface("Ws(Y, b) -> false").unwrap(),
-        );
+        rs.add_interface(RuleId(3), B, &parse_interface("Ws(Y, b) -> false").unwrap());
         let mut tr = Trace::new();
         tr.push(
             SimTime::from_secs(5),
             B,
-            EventDesc::Ws { item: y(), old: None, new: Value::Int(1) },
+            EventDesc::Ws {
+                item: y(),
+                old: None,
+                new: Value::Int(1),
+            },
             None,
             None,
             None,
         );
         let report = check_validity(&tr, &rs);
-        assert!(report.of_property(6).iter().any(|v| v.msg.contains("prohibited")));
+        assert!(report
+            .of_property(6)
+            .iter()
+            .any(|v| v.msg.contains("prohibited")));
     }
 
     #[test]
@@ -719,7 +785,11 @@ mod tests {
         let ws = tr.push(
             SimTime::from_secs(1),
             A,
-            EventDesc::Ws { item: x(), old: None, new: Value::Int(5) },
+            EventDesc::Ws {
+                item: x(),
+                old: None,
+                new: Value::Int(5),
+            },
             None,
             None,
             None,
@@ -727,7 +797,10 @@ mod tests {
         tr.push(
             SimTime::from_secs(2),
             A,
-            EventDesc::N { item: x(), value: Value::Int(5) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(5),
+            },
             None,
             None,
             None,
@@ -747,7 +820,10 @@ mod tests {
         let wr = tr.push(
             SimTime::from_secs(10),
             B,
-            EventDesc::Wr { item: y(), value: Value::Int(5) },
+            EventDesc::Wr {
+                item: y(),
+                value: Value::Int(5),
+            },
             None,
             None,
             None,
@@ -783,7 +859,10 @@ mod tests {
         let n1 = tr.push(
             SimTime::from_secs(1),
             A,
-            EventDesc::N { item: x(), value: Value::Int(1) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(1),
+            },
             None,
             None,
             None,
@@ -791,7 +870,10 @@ mod tests {
         let n2 = tr.push(
             SimTime::from_secs(2),
             A,
-            EventDesc::N { item: x(), value: Value::Int(2) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(2),
+            },
             None,
             None,
             None,
@@ -800,7 +882,10 @@ mod tests {
         tr.push(
             SimTime::from_secs(3),
             B,
-            EventDesc::Wr { item: y(), value: Value::Int(2) },
+            EventDesc::Wr {
+                item: y(),
+                value: Value::Int(2),
+            },
             None,
             Some(RuleId(0)),
             Some(n2),
@@ -808,7 +893,10 @@ mod tests {
         tr.push(
             SimTime::from_secs(4),
             B,
-            EventDesc::Wr { item: y(), value: Value::Int(1) },
+            EventDesc::Wr {
+                item: y(),
+                value: Value::Int(1),
+            },
             None,
             Some(RuleId(0)),
             Some(n1),
@@ -830,7 +918,10 @@ mod tests {
         let n1 = tr.push(
             SimTime::from_secs(1),
             A,
-            EventDesc::N { item: x(), value: Value::Int(1) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(1),
+            },
             None,
             None,
             None,
@@ -838,7 +929,10 @@ mod tests {
         let n2 = tr.push(
             SimTime::from_secs(2),
             A,
-            EventDesc::N { item: x(), value: Value::Int(2) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(2),
+            },
             None,
             None,
             None,
@@ -846,7 +940,10 @@ mod tests {
         tr.push(
             SimTime::from_secs(3),
             B,
-            EventDesc::Wr { item: y(), value: Value::Int(1) },
+            EventDesc::Wr {
+                item: y(),
+                value: Value::Int(1),
+            },
             None,
             Some(RuleId(0)),
             Some(n1),
@@ -854,7 +951,10 @@ mod tests {
         tr.push(
             SimTime::from_secs(4),
             B,
-            EventDesc::Wr { item: y(), value: Value::Int(2) },
+            EventDesc::Wr {
+                item: y(),
+                value: Value::Int(2),
+            },
             None,
             Some(RuleId(0)),
             Some(n2),

@@ -7,13 +7,47 @@
 //! checks both agree on randomized traces and formulas. This is the
 //! mechanical justification for the grid optimization claimed in the
 //! crate docs.
+//!
+//! Formerly proptest-based; now driven by a local SplitMix64 generator
+//! so the suite needs no external crates and stays deterministic.
 
 use hcm_checker::guarantee::check_guarantee;
 use hcm_core::{EventDesc, ItemId, SimTime, SiteId, Trace, Value};
 use hcm_rulelang::{parse_guarantee, Guarantee};
-use proptest::prelude::*;
 
 const HORIZON_MS: u64 = 120;
+
+/// Minimal deterministic generator (SplitMix64).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next() % span) as i64
+    }
+    /// Up to `max` (time, small value) writes within the horizon.
+    fn writes(&mut self, max: usize, val_hi: i64) -> Vec<(u64, i64)> {
+        let n = self.int_in(0, max as i64) as usize;
+        (0..n)
+            .map(|_| {
+                (
+                    self.int_in(0, HORIZON_MS as i64 - 1) as u64,
+                    self.int_in(0, val_hi),
+                )
+            })
+            .collect()
+    }
+}
 
 /// Brute force: enumerate every (t1, t2) in [0, horizon]² of integer
 /// milliseconds for two-variable implications of the shape used by the
@@ -25,7 +59,9 @@ fn brute_force_two_var(
     time_ok: impl Fn(u64, u64) -> bool,
 ) -> bool {
     for t1 in 0..=HORIZON_MS {
-        let Some(y) = lhs(trace, SimTime::from_millis(t1)) else { continue };
+        let Some(y) = lhs(trace, SimTime::from_millis(t1)) else {
+            continue;
+        };
         let mut witnessed = false;
         for t2 in 0..=HORIZON_MS {
             if !time_ok(t1, t2) {
@@ -50,12 +86,7 @@ fn y() -> ItemId {
     ItemId::plain("Y")
 }
 
-fn build_trace(
-    x_writes: &[(u64, i64)],
-    y_writes: &[(u64, i64)],
-    x0: i64,
-    y0: i64,
-) -> Trace {
+fn build_trace(x_writes: &[(u64, i64)], y_writes: &[(u64, i64)], x0: i64, y0: i64) -> Trace {
     let mut all: Vec<(u64, bool, i64)> = x_writes
         .iter()
         .map(|&(t, v)| (t, true, v))
@@ -71,7 +102,11 @@ fn build_trace(
         tr.push(
             SimTime::from_millis(t),
             SiteId::new(0),
-            EventDesc::Ws { item, old: old.clone(), new: Value::Int(v) },
+            EventDesc::Ws {
+                item,
+                old: old.clone(),
+                new: Value::Int(v),
+            },
             old,
             None,
             None,
@@ -81,7 +116,11 @@ fn build_trace(
     tr.push(
         SimTime::from_millis(HORIZON_MS),
         SiteId::new(0),
-        EventDesc::Ws { item: ItemId::plain("Pad"), old: None, new: Value::Int(0) },
+        EventDesc::Ws {
+            item: ItemId::plain("Pad"),
+            old: None,
+            new: Value::Int(0),
+        },
         None,
         None,
         None,
@@ -105,18 +144,17 @@ fn metric(kappa_ms: u64) -> Guarantee {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Grid evaluator ≡ exhaustive evaluator for "follows".
-    #[test]
-    fn follows_agrees_with_brute_force(
-        x_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
-        y_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
-        x0 in 0i64..4,
-        y0 in 0i64..4,
-    ) {
-        let tr = build_trace(&x_writes, &y_writes, x0, y0);
+/// Grid evaluator ≡ exhaustive evaluator for "follows".
+#[test]
+fn follows_agrees_with_brute_force() {
+    let mut g = Gen::new(0xC4EC_0001);
+    for _ in 0..64 {
+        let tr = build_trace(
+            &g.writes(5, 3),
+            &g.writes(5, 3),
+            g.int_in(0, 3),
+            g.int_in(0, 3),
+        );
         let fast = check_guarantee(&tr, &follows(), None).holds;
         let slow = brute_force_two_var(
             &tr,
@@ -124,18 +162,21 @@ proptest! {
             |t, at| t.value_at(&x(), at),
             |t1, t2| t2 <= t1,
         );
-        prop_assert_eq!(fast, slow, "trace:\n{}", tr);
+        assert_eq!(fast, slow, "trace:\n{tr}");
     }
+}
 
-    /// Grid evaluator ≡ exhaustive evaluator for "leads".
-    #[test]
-    fn leads_agrees_with_brute_force(
-        x_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
-        y_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
-        x0 in 0i64..4,
-        y0 in 0i64..4,
-    ) {
-        let tr = build_trace(&x_writes, &y_writes, x0, y0);
+/// Grid evaluator ≡ exhaustive evaluator for "leads".
+#[test]
+fn leads_agrees_with_brute_force() {
+    let mut g = Gen::new(0xC4EC_0002);
+    for _ in 0..64 {
+        let tr = build_trace(
+            &g.writes(5, 3),
+            &g.writes(5, 3),
+            g.int_in(0, 3),
+            g.int_in(0, 3),
+        );
         let fast = check_guarantee(&tr, &leads(), None).holds;
         let slow = brute_force_two_var(
             &tr,
@@ -143,20 +184,23 @@ proptest! {
             |t, at| t.value_at(&y(), at),
             |t1, t2| t2 >= t1,
         );
-        prop_assert_eq!(fast, slow, "trace:\n{}", tr);
+        assert_eq!(fast, slow, "trace:\n{tr}");
     }
+}
 
-    /// Grid evaluator ≡ exhaustive evaluator for the metric bound, the
-    /// case that exercises offset-shifted candidates.
-    #[test]
-    fn metric_agrees_with_brute_force(
-        x_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
-        y_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..4), 0..6),
-        x0 in 0i64..4,
-        y0 in 0i64..4,
-        kappa in 1u64..HORIZON_MS,
-    ) {
-        let tr = build_trace(&x_writes, &y_writes, x0, y0);
+/// Grid evaluator ≡ exhaustive evaluator for the metric bound, the case
+/// that exercises offset-shifted candidates.
+#[test]
+fn metric_agrees_with_brute_force() {
+    let mut g = Gen::new(0xC4EC_0003);
+    for _ in 0..64 {
+        let tr = build_trace(
+            &g.writes(5, 3),
+            &g.writes(5, 3),
+            g.int_in(0, 3),
+            g.int_in(0, 3),
+        );
+        let kappa = g.int_in(1, HORIZON_MS as i64 - 1) as u64;
         let fast = check_guarantee(&tr, &metric(kappa), None).holds;
         let slow = brute_force_two_var(
             &tr,
@@ -164,30 +208,25 @@ proptest! {
             |t, at| t.value_at(&x(), at),
             |t1, t2| (t1 as i64 - kappa as i64) < t2 as i64 && t2 <= t1,
         );
-        prop_assert_eq!(fast, slow, "kappa={}ms trace:\n{}", kappa, tr);
+        assert_eq!(fast, slow, "kappa={kappa}ms trace:\n{tr}");
     }
+}
 
-    /// Throughout atoms: `(X = Y) @@ [a, b]` against per-millisecond
-    /// enumeration.
-    #[test]
-    fn throughout_agrees_with_brute_force(
-        x_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..3), 0..5),
-        y_writes in prop::collection::vec((0u64..HORIZON_MS, 0i64..3), 0..5),
-        a in 0u64..HORIZON_MS,
-        len in 0u64..HORIZON_MS,
-    ) {
+/// Throughout atoms: `(X = Y) @@ [a, b]` against per-millisecond
+/// enumeration.
+#[test]
+fn throughout_agrees_with_brute_force() {
+    let mut g = Gen::new(0xC4EC_0004);
+    for _ in 0..64 {
+        let a = g.int_in(0, HORIZON_MS as i64 - 1) as u64;
+        let len = g.int_in(0, HORIZON_MS as i64 - 1) as u64;
         let b = (a + len).min(HORIZON_MS);
-        let tr = build_trace(&x_writes, &y_writes, 0, 0);
-        let g = parse_guarantee(
-            "inv",
-            &format!("(X = Y) @@ [{a}ms, {b}ms]"),
-        )
-        .unwrap();
-        let fast = check_guarantee(&tr, &g, None).holds;
+        let tr = build_trace(&g.writes(4, 2), &g.writes(4, 2), 0, 0);
+        let guar = parse_guarantee("inv", &format!("(X = Y) @@ [{a}ms, {b}ms]")).unwrap();
+        let fast = check_guarantee(&tr, &guar, None).holds;
         let slow = (a..=b).all(|t| {
-            tr.value_at(&x(), SimTime::from_millis(t))
-                == tr.value_at(&y(), SimTime::from_millis(t))
+            tr.value_at(&x(), SimTime::from_millis(t)) == tr.value_at(&y(), SimTime::from_millis(t))
         });
-        prop_assert_eq!(fast, slow, "[{}ms,{}ms] trace:\n{}", a, b, tr);
+        assert_eq!(fast, slow, "[{a}ms,{b}ms] trace:\n{tr}");
     }
 }

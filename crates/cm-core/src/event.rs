@@ -238,29 +238,65 @@ mod tests {
 
     #[test]
     fn write_effect_only_for_writes() {
-        let ws = EventDesc::Ws { item: item_x(), old: None, new: Value::Int(2) };
-        let w = EventDesc::W { item: item_x(), value: Value::Int(3) };
-        let n = EventDesc::N { item: item_x(), value: Value::Int(4) };
+        let ws = EventDesc::Ws {
+            item: item_x(),
+            old: None,
+            new: Value::Int(2),
+        };
+        let w = EventDesc::W {
+            item: item_x(),
+            value: Value::Int(3),
+        };
+        let n = EventDesc::N {
+            item: item_x(),
+            value: Value::Int(4),
+        };
         assert_eq!(ws.write_effect(), Some((&item_x(), &Value::Int(2))));
         assert_eq!(w.write_effect(), Some((&item_x(), &Value::Int(3))));
         assert_eq!(n.write_effect(), None);
-        assert_eq!(EventDesc::P { period: SimDuration::from_secs(1) }.write_effect(), None);
+        assert_eq!(
+            EventDesc::P {
+                period: SimDuration::from_secs(1)
+            }
+            .write_effect(),
+            None
+        );
     }
 
     #[test]
     fn spontaneity_of_kinds() {
-        assert!(EventDesc::Ws { item: item_x(), old: None, new: Value::Int(1) }
-            .is_spontaneous_kind());
-        assert!(EventDesc::P { period: SimDuration::from_secs(1) }.is_spontaneous_kind());
-        assert!(!EventDesc::N { item: item_x(), value: Value::Int(1) }.is_spontaneous_kind());
+        assert!(EventDesc::Ws {
+            item: item_x(),
+            old: None,
+            new: Value::Int(1)
+        }
+        .is_spontaneous_kind());
+        assert!(EventDesc::P {
+            period: SimDuration::from_secs(1)
+        }
+        .is_spontaneous_kind());
+        assert!(!EventDesc::N {
+            item: item_x(),
+            value: Value::Int(1)
+        }
+        .is_spontaneous_kind());
     }
 
     #[test]
     fn item_accessor() {
         let rr = EventDesc::Rr { item: item_x() };
         assert_eq!(rr.item(), Some(&item_x()));
-        assert_eq!(EventDesc::P { period: SimDuration::from_secs(1) }.item(), None);
-        let c = EventDesc::Custom { name: "Grant".into(), args: vec![] };
+        assert_eq!(
+            EventDesc::P {
+                period: SimDuration::from_secs(1)
+            }
+            .item(),
+            None
+        );
+        let c = EventDesc::Custom {
+            name: "Grant".into(),
+            args: vec![],
+        };
         assert_eq!(c.item(), None);
     }
 
@@ -270,7 +306,10 @@ mod tests {
             id: EventId(7),
             time: SimTime::from_millis(1500),
             site: SiteId::new(2),
-            desc: EventDesc::N { item: item_x(), value: Value::Int(9) },
+            desc: EventDesc::N {
+                item: item_x(),
+                value: Value::Int(9),
+            },
             old_value: None,
             rule: Some(RuleId(3)),
             trigger: Some(EventId(5)),
@@ -283,7 +322,11 @@ mod tests {
     fn tags() {
         assert_eq!(EventDesc::Rr { item: item_x() }.tag(), "RR");
         assert_eq!(
-            EventDesc::Custom { name: "x".into(), args: vec![] }.tag(),
+            EventDesc::Custom {
+                name: "x".into(),
+                args: vec![]
+            }
+            .tag(),
             "Custom"
         );
     }

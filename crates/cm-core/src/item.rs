@@ -26,13 +26,19 @@ impl ItemId {
     /// An unparameterized item, e.g. `ItemId::plain("X")`.
     #[must_use]
     pub fn plain(base: impl Into<String>) -> Self {
-        ItemId { base: base.into(), params: Vec::new() }
+        ItemId {
+            base: base.into(),
+            params: Vec::new(),
+        }
     }
 
     /// A parameterized item, e.g. `ItemId::with("salary1", ["e42"])`.
     #[must_use]
     pub fn with(base: impl Into<String>, params: impl IntoIterator<Item = Value>) -> Self {
-        ItemId { base: base.into(), params: params.into_iter().collect() }
+        ItemId {
+            base: base.into(),
+            params: params.into_iter().collect(),
+        }
     }
 }
 
@@ -67,13 +73,19 @@ impl ItemPattern {
     /// An unparameterized pattern.
     #[must_use]
     pub fn plain(base: impl Into<String>) -> Self {
-        ItemPattern { base: base.into(), params: Vec::new() }
+        ItemPattern {
+            base: base.into(),
+            params: Vec::new(),
+        }
     }
 
     /// A parameterized pattern.
     #[must_use]
     pub fn with(base: impl Into<String>, params: impl IntoIterator<Item = Term>) -> Self {
-        ItemPattern { base: base.into(), params: params.into_iter().collect() }
+        ItemPattern {
+            base: base.into(),
+            params: params.into_iter().collect(),
+        }
     }
 
     /// Try to match a ground item against this pattern, extending
@@ -102,7 +114,10 @@ impl ItemPattern {
         for t in &self.params {
             params.push(t.instantiate(bindings)?);
         }
-        Some(ItemId { base: self.base.clone(), params })
+        Some(ItemId {
+            base: self.base.clone(),
+            params,
+        })
     }
 
     /// `true` when the pattern contains no variables or wild-cards.

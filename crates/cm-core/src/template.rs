@@ -241,7 +241,14 @@ impl TemplateDesc {
 
     fn match_inner(&self, desc: &EventDesc, bindings: &mut Bindings) -> bool {
         match (self, desc) {
-            (TemplateDesc::Ws { item, old, new }, EventDesc::Ws { item: i, old: o, new: n }) => {
+            (
+                TemplateDesc::Ws { item, old, new },
+                EventDesc::Ws {
+                    item: i,
+                    old: o,
+                    new: n,
+                },
+            ) => {
                 item.match_item(i, bindings)
                     && match old {
                         None => true,
@@ -302,7 +309,9 @@ impl TemplateDesc {
                 item: item.instantiate(bindings)?,
                 value: value.instantiate(bindings)?,
             }),
-            TemplateDesc::Rr { item } => Some(EventDesc::Rr { item: item.instantiate(bindings)? }),
+            TemplateDesc::Rr { item } => Some(EventDesc::Rr {
+                item: item.instantiate(bindings)?,
+            }),
             TemplateDesc::R { item, value } => Some(EventDesc::R {
                 item: item.instantiate(bindings)?,
                 value: value.instantiate(bindings)?,
@@ -323,7 +332,10 @@ impl TemplateDesc {
                 for a in args {
                     vals.push(a.instantiate(bindings)?);
                 }
-                Some(EventDesc::Custom { name: name.clone(), args: vals })
+                Some(EventDesc::Custom {
+                    name: name.clone(),
+                    args: vals,
+                })
             }
             TemplateDesc::False => None,
         }
@@ -410,8 +422,14 @@ mod tests {
 
     #[test]
     fn notify_template_matches_and_binds() {
-        let t = TemplateDesc::N { item: x(), value: Term::var("b") };
-        let e = EventDesc::N { item: ItemId::plain("X"), value: Value::Int(42) };
+        let t = TemplateDesc::N {
+            item: x(),
+            value: Term::var("b"),
+        };
+        let e = EventDesc::N {
+            item: ItemId::plain("X"),
+            value: Value::Int(42),
+        };
         let mut b = Bindings::new();
         assert!(t.match_desc(&e, &mut b));
         assert_eq!(b.get("b"), Some(&Value::Int(42)));
@@ -419,8 +437,14 @@ mod tests {
 
     #[test]
     fn kind_mismatch_fails_cleanly() {
-        let t = TemplateDesc::N { item: x(), value: Term::var("b") };
-        let e = EventDesc::W { item: ItemId::plain("X"), value: Value::Int(42) };
+        let t = TemplateDesc::N {
+            item: x(),
+            value: Term::var("b"),
+        };
+        let e = EventDesc::W {
+            item: ItemId::plain("X"),
+            value: Value::Int(42),
+        };
         let mut b = Bindings::new();
         assert!(!t.match_desc(&e, &mut b));
         assert!(b.is_empty());
@@ -428,7 +452,11 @@ mod tests {
 
     #[test]
     fn ws_sugar_ignores_old_value() {
-        let t = TemplateDesc::Ws { item: x(), old: None, new: Term::var("b") };
+        let t = TemplateDesc::Ws {
+            item: x(),
+            old: None,
+            new: Term::var("b"),
+        };
         let e = EventDesc::Ws {
             item: ItemId::plain("X"),
             old: Some(Value::Int(1)),
@@ -456,7 +484,11 @@ mod tests {
         assert_eq!(b.get("a"), Some(&Value::Int(1)));
         assert_eq!(b.get("b"), Some(&Value::Int(2)));
         // Old value required but unrecorded: only `*` may match.
-        let e2 = EventDesc::Ws { item: ItemId::plain("X"), old: None, new: Value::Int(2) };
+        let e2 = EventDesc::Ws {
+            item: ItemId::plain("X"),
+            old: None,
+            new: Value::Int(2),
+        };
         let mut b2 = Bindings::new();
         assert!(!t.match_desc(&e2, &mut b2));
         assert!(b2.is_empty());
@@ -464,7 +496,11 @@ mod tests {
 
     #[test]
     fn false_template_never_matches() {
-        let e = EventDesc::Ws { item: ItemId::plain("X"), old: None, new: Value::Int(2) };
+        let e = EventDesc::Ws {
+            item: ItemId::plain("X"),
+            old: None,
+            new: Value::Int(2),
+        };
         let mut b = Bindings::new();
         assert!(!TemplateDesc::False.match_desc(&e, &mut b));
         assert_eq!(TemplateDesc::False.instantiate(&b), None);
@@ -472,11 +508,17 @@ mod tests {
 
     #[test]
     fn periodic_template() {
-        let t = TemplateDesc::P { period: Term::Const(Value::Int(300_000)) };
-        let e = EventDesc::P { period: SimDuration::from_secs(300) };
+        let t = TemplateDesc::P {
+            period: Term::Const(Value::Int(300_000)),
+        };
+        let e = EventDesc::P {
+            period: SimDuration::from_secs(300),
+        };
         let mut b = Bindings::new();
         assert!(t.match_desc(&e, &mut b));
-        let wrong = EventDesc::P { period: SimDuration::from_secs(60) };
+        let wrong = EventDesc::P {
+            period: SimDuration::from_secs(60),
+        };
         assert!(!t.match_desc(&wrong, &mut b));
     }
 
@@ -510,7 +552,10 @@ mod tests {
 
     #[test]
     fn instantiate_fails_on_unbound() {
-        let rhs = TemplateDesc::Wr { item: x(), value: Term::var("zz") };
+        let rhs = TemplateDesc::Wr {
+            item: x(),
+            value: Term::var("zz"),
+        };
         assert_eq!(rhs.instantiate(&Bindings::new()), None);
     }
 
@@ -520,11 +565,17 @@ mod tests {
             name: "LimitChangeReq".into(),
             args: vec![Term::var("amt")],
         };
-        let e = EventDesc::Custom { name: "LimitChangeReq".into(), args: vec![Value::Int(50)] };
+        let e = EventDesc::Custom {
+            name: "LimitChangeReq".into(),
+            args: vec![Value::Int(50)],
+        };
         let mut b = Bindings::new();
         assert!(t.match_desc(&e, &mut b));
         assert_eq!(b.get("amt"), Some(&Value::Int(50)));
-        let other = EventDesc::Custom { name: "Other".into(), args: vec![Value::Int(50)] };
+        let other = EventDesc::Custom {
+            name: "Other".into(),
+            args: vec![Value::Int(50)],
+        };
         assert!(!t.match_desc(&other, &mut b));
     }
 
@@ -536,7 +587,11 @@ mod tests {
         };
         assert_eq!(t.to_string(), "N(salary1(n), b)");
         assert_eq!(TemplateDesc::False.to_string(), "false");
-        let ws = TemplateDesc::Ws { item: x(), old: Some(Term::var("a")), new: Term::var("b") };
+        let ws = TemplateDesc::Ws {
+            item: x(),
+            old: Some(Term::var("a")),
+            new: Term::var("b"),
+        };
         assert_eq!(ws.to_string(), "Ws(X, a, b)");
     }
 }

@@ -69,7 +69,15 @@ impl Trace {
         trigger: Option<EventId>,
     ) -> EventId {
         let id = EventId(self.events.len() as u64);
-        self.events.push(Event { id, time, site, desc, old_value, rule, trigger });
+        self.events.push(Event {
+            id,
+            time,
+            site,
+            desc,
+            old_value,
+            rule,
+            trigger,
+        });
         id
     }
 
@@ -273,7 +281,9 @@ impl TraceRecorder {
         rule: Option<RuleId>,
         trigger: Option<EventId>,
     ) -> EventId {
-        self.inner.borrow_mut().push(time, site, desc, old_value, rule, trigger)
+        self.inner
+            .borrow_mut()
+            .push(time, site, desc, old_value, rule, trigger)
     }
 
     /// Number of events recorded so far.
@@ -314,7 +324,11 @@ mod tests {
         trace.push(
             SimTime::from_secs(t),
             SiteId::new(0),
-            EventDesc::Ws { item: x(), old: old.map(Value::Int), new: Value::Int(v) },
+            EventDesc::Ws {
+                item: x(),
+                old: old.map(Value::Int),
+                new: Value::Int(v),
+            },
             old.map(Value::Int),
             None,
             None,
@@ -327,10 +341,22 @@ mod tests {
         tr.set_initial(x(), Value::Int(0));
         write(&mut tr, 10, 1, Some(0));
         write(&mut tr, 20, 2, Some(1));
-        assert_eq!(tr.value_at(&x(), SimTime::from_secs(5)), Some(Value::Int(0)));
-        assert_eq!(tr.value_at(&x(), SimTime::from_secs(10)), Some(Value::Int(1)));
-        assert_eq!(tr.value_at(&x(), SimTime::from_secs(15)), Some(Value::Int(1)));
-        assert_eq!(tr.value_at(&x(), SimTime::from_secs(99)), Some(Value::Int(2)));
+        assert_eq!(
+            tr.value_at(&x(), SimTime::from_secs(5)),
+            Some(Value::Int(0))
+        );
+        assert_eq!(
+            tr.value_at(&x(), SimTime::from_secs(10)),
+            Some(Value::Int(1))
+        );
+        assert_eq!(
+            tr.value_at(&x(), SimTime::from_secs(15)),
+            Some(Value::Int(1))
+        );
+        assert_eq!(
+            tr.value_at(&x(), SimTime::from_secs(99)),
+            Some(Value::Int(2))
+        );
     }
 
     #[test]
@@ -362,12 +388,18 @@ mod tests {
         tr.push(
             SimTime::from_secs(2),
             SiteId::new(1),
-            EventDesc::N { item: x(), value: Value::Int(5) },
+            EventDesc::N {
+                item: x(),
+                value: Value::Int(5),
+            },
             None,
             Some(RuleId(0)),
             Some(EventId(0)),
         );
-        let tmpl = TemplateDesc::N { item: ItemPattern::plain("X"), value: Term::var("b") };
+        let tmpl = TemplateDesc::N {
+            item: ItemPattern::plain("X"),
+            value: Term::var("b"),
+        };
         let hits: Vec<_> = tr.matching(&tmpl).collect();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].1.get("b"), Some(&Value::Int(5)));
@@ -390,7 +422,10 @@ mod tests {
         let mut tr = Trace::new();
         write(&mut tr, 5, 1, None);
         write(&mut tr, 5, 2, Some(1));
-        assert_eq!(tr.value_at(&x(), SimTime::from_secs(5)), Some(Value::Int(2)));
+        assert_eq!(
+            tr.value_at(&x(), SimTime::from_secs(5)),
+            Some(Value::Int(2))
+        );
     }
 
     #[test]

@@ -285,7 +285,10 @@ mod tests {
     #[test]
     fn arithmetic_widens() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)), Some(Value::Int(5)));
-        assert_eq!(Value::Int(2).add(&Value::Float(0.5)), Some(Value::Float(2.5)));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)),
+            Some(Value::Float(2.5))
+        );
         assert_eq!(Value::Str("x".into()).add(&Value::Int(1)), None);
     }
 

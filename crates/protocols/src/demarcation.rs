@@ -22,12 +22,11 @@
 //! `LimitReq` / `LimitGrant` / `LimitDeny`.
 
 use hcm_core::{EventDesc, ItemId, SimTime, SiteId, TraceRecorder, Value};
+use hcm_obs::{Metrics, Scope};
 use hcm_simkit::{Actor, ActorId, Ctx, RunOutcome};
 use hcm_toolkit::backends::RawStore;
 use hcm_toolkit::msg::{CmMsg, RequestKind, TranslatorEvent};
 use hcm_toolkit::{Scenario, ScenarioBuilder};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// How much slack the peer gives away when asked for `need`, given
 /// `avail` (its distance from value to limit).
@@ -99,6 +98,46 @@ pub struct DemarcStats {
     pub slack_received: i64,
 }
 
+/// Registry-backed view of one side's protocol counters. `borrow()`
+/// materializes an owned [`DemarcStats`] snapshot.
+#[derive(Debug, Clone)]
+pub struct DemarcStatsHandle {
+    metrics: Metrics,
+    scope: Scope,
+}
+
+impl DemarcStatsHandle {
+    /// View over `site`'s demarcation metrics in `metrics`.
+    #[must_use]
+    pub fn new(metrics: Metrics, site: SiteId) -> Self {
+        DemarcStatsHandle {
+            metrics,
+            scope: Scope::Site(site.index()),
+        }
+    }
+
+    fn inc(&self, name: &str) {
+        self.metrics.inc(self.scope, name);
+    }
+
+    /// Snapshot the counters as an owned [`DemarcStats`].
+    #[must_use]
+    pub fn borrow(&self) -> DemarcStats {
+        let get = |n: &str| self.metrics.counter(self.scope, n);
+        DemarcStats {
+            attempts: get("demarc.attempts"),
+            local_ok: get("demarc.local_ok"),
+            granted: get("demarc.granted"),
+            denied: get("demarc.denied"),
+            limit_requests: get("demarc.limit_requests"),
+            slack_received: self
+                .metrics
+                .gauge(self.scope, "demarc.slack_received")
+                .unwrap_or(0),
+        }
+    }
+}
+
 /// One site's protocol agent. It acts as the CM-Shell of its site for
 /// this constraint: the translator's events are addressed to it.
 pub struct DemarcAgent {
@@ -116,7 +155,7 @@ pub struct DemarcAgent {
     next_req: u64,
     /// Writes in flight: req_id → (is_limit_write, new cached value).
     inflight: std::collections::BTreeMap<u64, (bool, i64)>,
-    stats: Rc<RefCell<DemarcStats>>,
+    stats: DemarcStatsHandle,
     /// Trace recording: §6.1 formalizes the limit-change negotiation
     /// "by introducing an event to denote a request for a limit-change
     /// operation" — LimitReq / LimitGrant / LimitDeny land in the trace
@@ -138,7 +177,7 @@ impl DemarcAgent {
         value: i64,
         limit: i64,
         policy: GrantPolicy,
-        stats: Rc<RefCell<DemarcStats>>,
+        stats: DemarcStatsHandle,
     ) -> Self {
         DemarcAgent {
             role,
@@ -172,7 +211,10 @@ impl DemarcAgent {
             rec.record(
                 now,
                 *site,
-                EventDesc::Custom { name: name.into(), args },
+                EventDesc::Custom {
+                    name: name.into(),
+                    args,
+                },
                 None,
                 None,
                 None,
@@ -197,7 +239,11 @@ impl DemarcAgent {
         let req_id = self.next_req;
         self.next_req += 1;
         self.inflight.insert(req_id, (limit_write, new));
-        let item = if limit_write { self.item_limit.clone() } else { self.item_value.clone() };
+        let item = if limit_write {
+            self.item_limit.clone()
+        } else {
+            self.item_value.clone()
+        };
         let me = ctx.me();
         ctx.send_local(
             self.translator,
@@ -216,19 +262,19 @@ impl DemarcAgent {
     /// (positive for `Lower`, i.e. X += δ consumes slack; for `Upper`,
     /// δ is how far Y decreases).
     fn try_update(&mut self, delta: i64, ctx: &mut Ctx<'_, CmMsg>) {
-        self.stats.borrow_mut().attempts += 1;
+        self.stats.inc("demarc.attempts");
         if delta <= self.headroom() {
             let new = match self.role {
                 Role::Lower => self.value + delta,
                 Role::Upper => self.value - delta,
             };
-            self.stats.borrow_mut().local_ok += 1;
+            self.stats.inc("demarc.local_ok");
             self.value = new;
             self.write(ctx, false, new);
         } else if self.pending.is_none() {
             let need = delta - self.headroom();
             self.pending = Some(delta);
-            self.stats.borrow_mut().limit_requests += 1;
+            self.stats.inc("demarc.limit_requests");
             self.record_custom(ctx.now(), "LimitReqSent", vec![Value::Int(need)]);
             if let Some(peer) = self.peer {
                 ctx.send(
@@ -246,13 +292,17 @@ impl DemarcAgent {
         } else {
             // One outstanding negotiation at a time; concurrent
             // attempts beyond the limit are denied outright.
-            self.stats.borrow_mut().denied += 1;
+            self.stats.inc("demarc.denied");
         }
     }
 
     /// Peer asks for `need` slack. Move own limit first, then answer.
     fn on_limit_request(&mut self, need: i64, ctx: &mut Ctx<'_, CmMsg>) {
-        self.record_custom(ctx.now(), "LimitReqRecv", vec![Value::Int(need), Value::Int(self.avail())]);
+        self.record_custom(
+            ctx.now(),
+            "LimitReqRecv",
+            vec![Value::Int(need), Value::Int(self.avail())],
+        );
         let g = self.policy.grant(need, self.avail());
         if g <= 0 {
             self.record_custom(ctx.now(), "LimitDenied", vec![Value::Int(need)]);
@@ -260,7 +310,10 @@ impl DemarcAgent {
                 ctx.send(
                     peer,
                     CmMsg::Custom {
-                        desc: EventDesc::Custom { name: "LimitDeny".into(), args: vec![] },
+                        desc: EventDesc::Custom {
+                            name: "LimitDeny".into(),
+                            args: vec![],
+                        },
                         rule: None,
                         trigger: None,
                     },
@@ -295,7 +348,9 @@ impl DemarcAgent {
     fn on_grant(&mut self, g: i64, ctx: &mut Ctx<'_, CmMsg>) {
         // Widen own limit by the granted slack, then retry the pending
         // update.
-        self.stats.borrow_mut().slack_received += g;
+        self.stats
+            .metrics
+            .gauge_add(self.stats.scope, "demarc.slack_received", g);
         let new_limit = match self.role {
             Role::Lower => self.limit + g,
             Role::Upper => self.limit - g,
@@ -308,18 +363,18 @@ impl DemarcAgent {
                     Role::Lower => self.value + delta,
                     Role::Upper => self.value - delta,
                 };
-                self.stats.borrow_mut().granted += 1;
+                self.stats.inc("demarc.granted");
                 self.value = new;
                 self.write(ctx, false, new);
             } else {
-                self.stats.borrow_mut().denied += 1;
+                self.stats.inc("demarc.denied");
             }
         }
     }
 
     fn on_deny(&mut self) {
         if self.pending.take().is_some() {
-            self.stats.borrow_mut().denied += 1;
+            self.stats.inc("demarc.denied");
         }
     }
 }
@@ -327,15 +382,16 @@ impl DemarcAgent {
 impl Actor<CmMsg> for DemarcAgent {
     fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {
         match msg {
-            CmMsg::Custom { desc: EventDesc::Custom { name, args }, .. } => {
-                match (name.as_str(), args.as_slice()) {
-                    ("TryUpdate", [Value::Int(delta)]) => self.try_update(*delta, ctx),
-                    ("LimitReq", [Value::Int(need)]) => self.on_limit_request(*need, ctx),
-                    ("LimitGrant", [Value::Int(g)]) => self.on_grant(*g, ctx),
-                    ("LimitDeny", _) => self.on_deny(),
-                    other => panic!("demarcation agent: unexpected custom event {other:?}"),
-                }
-            }
+            CmMsg::Custom {
+                desc: EventDesc::Custom { name, args },
+                ..
+            } => match (name.as_str(), args.as_slice()) {
+                ("TryUpdate", [Value::Int(delta)]) => self.try_update(*delta, ctx),
+                ("LimitReq", [Value::Int(need)]) => self.on_limit_request(*need, ctx),
+                ("LimitGrant", [Value::Int(g)]) => self.on_grant(*g, ctx),
+                ("LimitDeny", _) => self.on_deny(),
+                other => panic!("demarcation agent: unexpected custom event {other:?}"),
+            },
             CmMsg::Cmi(TranslatorEvent::WriteDone { req_id, ok }) => {
                 let entry = self.inflight.remove(&req_id);
                 if !ok {
@@ -363,9 +419,9 @@ pub struct DemarcScenario {
     /// Agent for Y (site B).
     pub agent_y: ActorId,
     /// X-side counters.
-    pub stats_x: Rc<RefCell<DemarcStats>>,
+    pub stats_x: DemarcStatsHandle,
     /// Y-side counters.
-    pub stats_y: Rc<RefCell<DemarcStats>>,
+    pub stats_y: DemarcStatsHandle,
 }
 
 /// Configuration for [`build`].
@@ -440,9 +496,13 @@ pub fn build(cfg: DemarcConfig) -> DemarcScenario {
     use hcm_ris::relational::{Check, CheckOperand, Database, SqlOp};
 
     let mut db_x = Database::new();
-    db_x.create_table("demarc", &["name", "value", "lim"]).unwrap();
-    db_x.execute(&format!("INSERT INTO demarc VALUES ('X', {}, {})", cfg.x0, cfg.line))
+    db_x.create_table("demarc", &["name", "value", "lim"])
         .unwrap();
+    db_x.execute(&format!(
+        "INSERT INTO demarc VALUES ('X', {}, {})",
+        cfg.x0, cfg.line
+    ))
+    .unwrap();
     db_x.add_check(Check {
         table: "demarc".into(),
         left: CheckOperand::Col("value".into()),
@@ -452,9 +512,13 @@ pub fn build(cfg: DemarcConfig) -> DemarcScenario {
     .unwrap();
 
     let mut db_y = Database::new();
-    db_y.create_table("demarc", &["name", "value", "lim"]).unwrap();
-    db_y.execute(&format!("INSERT INTO demarc VALUES ('Y', {}, {})", cfg.y0, cfg.line))
+    db_y.create_table("demarc", &["name", "value", "lim"])
         .unwrap();
+    db_y.execute(&format!(
+        "INSERT INTO demarc VALUES ('Y', {}, {})",
+        cfg.y0, cfg.line
+    ))
+    .unwrap();
     db_y.add_check(Check {
         table: "demarc".into(),
         left: CheckOperand::Col("value".into()),
@@ -472,8 +536,9 @@ pub fn build(cfg: DemarcConfig) -> DemarcScenario {
         .build()
         .unwrap();
 
-    let stats_x = Rc::new(RefCell::new(DemarcStats::default()));
-    let stats_y = Rc::new(RefCell::new(DemarcStats::default()));
+    let metrics = scenario.sim.obs().metrics;
+    let stats_x = DemarcStatsHandle::new(metrics.clone(), scenario.site("A").site);
+    let stats_y = DemarcStatsHandle::new(metrics, scenario.site("B").site);
     let tx = scenario.site("A").translator;
     let ty = scenario.site("B").translator;
     // Actor ids are sequential: the next two additions get these ids,
@@ -507,19 +572,32 @@ pub fn build(cfg: DemarcConfig) -> DemarcScenario {
     let agent_x = scenario.add_actor(Box::new(ax));
     let agent_y = scenario.add_actor(Box::new(ay));
     assert_eq!((agent_x, agent_y), (expected_x, expected_y));
-    DemarcScenario { scenario, agent_x, agent_y, stats_x, stats_y }
+    DemarcScenario {
+        scenario,
+        agent_x,
+        agent_y,
+        stats_x,
+        stats_y,
+    }
 }
 
 impl DemarcScenario {
     /// Inject an application attempt at absolute time `t`: the X agent
     /// tries `X += delta`, the Y agent tries `Y -= delta`.
     pub fn try_update(&mut self, t: SimTime, lower_side: bool, delta: i64) {
-        let target = if lower_side { self.agent_x } else { self.agent_y };
+        let target = if lower_side {
+            self.agent_x
+        } else {
+            self.agent_y
+        };
         self.scenario.sim.inject_at(
             t,
             target,
             CmMsg::Custom {
-                desc: EventDesc::Custom { name: "TryUpdate".into(), args: vec![Value::Int(delta)] },
+                desc: EventDesc::Custom {
+                    name: "TryUpdate".into(),
+                    args: vec![Value::Int(delta)],
+                },
                 rule: None,
                 trigger: None,
             },
@@ -554,7 +632,13 @@ mod tests {
     use super::*;
 
     fn cfg(policy: GrantPolicy) -> DemarcConfig {
-        DemarcConfig { seed: 3, x0: 0, y0: 100, line: 50, policy }
+        DemarcConfig {
+            seed: 3,
+            x0: 0,
+            y0: 100,
+            line: 50,
+            policy,
+        }
     }
 
     #[test]
@@ -605,7 +689,13 @@ mod tests {
         // Three successive over-the-line increases of 10 each, starting
         // at the line.
         let run_with = |policy| {
-            let mut d = build(DemarcConfig { seed: 1, x0: 50, y0: 100, line: 50, policy });
+            let mut d = build(DemarcConfig {
+                seed: 1,
+                x0: 50,
+                y0: 100,
+                line: 50,
+                policy,
+            });
             for i in 0..3 {
                 d.try_update(SimTime::from_secs(1 + i * 10), true, 10);
             }
@@ -628,7 +718,13 @@ mod tests {
     fn generous_grants_starve_the_granter() {
         // Y grants everything, then wants to decrease below its new
         // tight limit: denied by X (no slack at X: x0 == its line).
-        let mut d = build(DemarcConfig { seed: 2, x0: 50, y0: 100, line: 50, policy: GrantPolicy::All });
+        let mut d = build(DemarcConfig {
+            seed: 2,
+            x0: 50,
+            y0: 100,
+            line: 50,
+            policy: GrantPolicy::All,
+        });
         d.try_update(SimTime::from_secs(1), true, 10); // forces Y to grant all 50
         d.try_update(SimTime::from_secs(10), true, 40); // X uses the rest of its slack
         d.try_update(SimTime::from_secs(20), false, 20); // Y has no slack left anywhere

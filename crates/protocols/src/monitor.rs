@@ -22,7 +22,7 @@ use hcm_simkit::{Actor, ActorId, Ctx, RunOutcome, Sim};
 use hcm_toolkit::backends::{build_backend, RawStore};
 use hcm_toolkit::msg::{CmMsg, SpontaneousOp, TranslatorEvent};
 use hcm_toolkit::rid::CmRid;
-use hcm_toolkit::translator::{TranslatorActor, TranslatorStats};
+use hcm_toolkit::translator::{TranslatorActor, TranslatorStatsHandle};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -49,7 +49,10 @@ impl MonitorAgent {
         self.recorder.record(
             now,
             self.site,
-            EventDesc::W { item: self.aux(name), value },
+            EventDesc::W {
+                item: self.aux(name),
+                value,
+            },
             Some(old),
             None,
             None,
@@ -75,19 +78,28 @@ impl MonitorAgent {
 
 impl Actor<CmMsg> for MonitorAgent {
     fn on_start(&mut self, _ctx: &mut Ctx<'_, CmMsg>) {
-        self.recorder.set_initial(self.aux("Flag"), Value::Bool(self.flag));
+        self.recorder
+            .set_initial(self.aux("Flag"), Value::Bool(self.flag));
         self.recorder.set_initial(self.aux("Tb"), Value::Int(0));
     }
 
     fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {
         match msg {
-            CmMsg::Cmi(TranslatorEvent::Notify { item, value, rule, trigger }) => {
+            CmMsg::Cmi(TranslatorEvent::Notify {
+                item,
+                value,
+                rule,
+                trigger,
+            }) => {
                 // Record the N event (this agent *is* the CM-Shell for
                 // both sites).
                 self.recorder.record(
                     ctx.now(),
                     self.site,
-                    EventDesc::N { item: item.clone(), value: value.clone() },
+                    EventDesc::N {
+                        item: item.clone(),
+                        value: value.clone(),
+                    },
                     None,
                     Some(rule),
                     Some(trigger),
@@ -158,14 +170,21 @@ pub fn build(seed: u64, v0: i64) -> MonitorScenario {
     kv.put("x", Value::Int(v0));
     let mut db = hcm_ris::relational::Database::new();
     db.create_table("items", &["name", "value"]).unwrap();
-    db.execute(&format!("INSERT INTO items VALUES ('Y', {v0})")).unwrap();
+    db.execute(&format!("INSERT INTO items VALUES ('Y', {v0})"))
+        .unwrap();
 
     let rid_x = CmRid::parse(RID_X_KV).expect("valid RID");
     let rid_y = CmRid::parse(RID_Y_REL).expect("valid RID");
-    let iface_x: Vec<_> =
-        rid_x.interfaces.iter().map(|s| registry.register(s.to_string())).collect();
-    let iface_y: Vec<_> =
-        rid_y.interfaces.iter().map(|s| registry.register(s.to_string())).collect();
+    let iface_x: Vec<_> = rid_x
+        .interfaces
+        .iter()
+        .map(|s| registry.register(s.to_string()))
+        .collect();
+    let iface_y: Vec<_> = rid_y
+        .interfaces
+        .iter()
+        .map(|s| registry.register(s.to_string()))
+        .collect();
 
     // Actor layout: agent 0, translator_x 1, translator_y 2. The agent
     // is the CM-Shell of *both* sites (paper Fig. 1, Site 3).
@@ -193,7 +212,7 @@ pub fn build(seed: u64, v0: i64) -> MonitorScenario {
         Vec::new(),
         never,
         recorder.clone(),
-        Rc::new(RefCell::new(TranslatorStats::default())),
+        TranslatorStatsHandle::new(sim.obs().metrics, SiteId::new(0)),
     );
     let ty = TranslatorActor::new(
         SiteId::new(1),
@@ -204,7 +223,7 @@ pub fn build(seed: u64, v0: i64) -> MonitorScenario {
         Vec::new(),
         never,
         recorder.clone(),
-        Rc::new(RefCell::new(TranslatorStats::default())),
+        TranslatorStatsHandle::new(sim.obs().metrics, SiteId::new(1)),
     );
     let translator_x = sim.add_actor(Box::new(tx));
     let translator_y = sim.add_actor(Box::new(ty));
@@ -227,7 +246,10 @@ impl MonitorScenario {
         self.sim.inject_at(
             t,
             self.translator_x,
-            CmMsg::Spontaneous(SpontaneousOp::KvPut { key: "x".into(), value: Value::Int(v) }),
+            CmMsg::Spontaneous(SpontaneousOp::KvPut {
+                key: "x".into(),
+                value: Value::Int(v),
+            }),
         );
     }
 

@@ -13,13 +13,12 @@
 //! all over the CMI.
 
 use hcm_core::{ItemId, SimDuration, SimTime};
+use hcm_obs::{Metrics, Scope};
 use hcm_simkit::{Actor, ActorId, Ctx};
 use hcm_toolkit::backends::RawStore;
 use hcm_toolkit::msg::{CmMsg, RequestKind, TranslatorEvent};
 use hcm_toolkit::{Scenario, ScenarioBuilder};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
 /// Batch counters.
 #[derive(Debug, Default, Clone)]
@@ -32,11 +31,55 @@ pub struct BatchStats {
     pub last_finish: Option<SimTime>,
 }
 
+/// Registry-backed view of the batch counters; [`BatchStats`] is the
+/// snapshot it materializes.
+#[derive(Clone)]
+pub struct BatchStatsHandle {
+    metrics: Metrics,
+    scope: Scope,
+}
+
+impl BatchStatsHandle {
+    /// A handle recording under `batch.*` at the global scope.
+    #[must_use]
+    pub fn new(metrics: Metrics) -> Self {
+        BatchStatsHandle {
+            metrics,
+            scope: Scope::Global,
+        }
+    }
+
+    fn inc(&self, name: &str) {
+        self.metrics.inc(self.scope, name);
+    }
+
+    /// Materialize an owned snapshot (source-compatible with the former
+    /// `RefCell` accessor).
+    #[must_use]
+    pub fn borrow(&self) -> BatchStats {
+        BatchStats {
+            batches: self.metrics.counter(self.scope, "batch.batches"),
+            propagated: self.metrics.counter(self.scope, "batch.propagated"),
+            last_finish: self
+                .metrics
+                .gauge(self.scope, "batch.last_finish_ms")
+                .map(|ms| SimTime::from_millis(ms as u64)),
+        }
+    }
+}
+
 enum Phase {
     Idle,
-    Enumerating { req: u64 },
-    Reading { pending: BTreeMap<u64, ItemId>, writes_outstanding: u64 },
-    Writing { writes_outstanding: u64 },
+    Enumerating {
+        req: u64,
+    },
+    Reading {
+        pending: BTreeMap<u64, ItemId>,
+        writes_outstanding: u64,
+    },
+    Writing {
+        writes_outstanding: u64,
+    },
 }
 
 /// The end-of-day propagator, a CM-Shell for the constraint serving
@@ -48,7 +91,7 @@ pub struct BatchAgent {
     schedule: Vec<SimTime>,
     next_req: u64,
     phase: Phase,
-    stats: Rc<RefCell<BatchStats>>,
+    stats: BatchStatsHandle,
 }
 
 impl BatchAgent {
@@ -62,14 +105,17 @@ impl BatchAgent {
 impl Actor<CmMsg> for BatchAgent {
     fn on_start(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
         for &t in &self.schedule {
-            ctx.schedule_self(t.saturating_since(SimTime::ZERO), CmMsg::RuleTick { idx: 0 });
+            ctx.schedule_self(
+                t.saturating_since(SimTime::ZERO),
+                CmMsg::RuleTick { idx: 0 },
+            );
         }
     }
 
     fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {
         match msg {
             CmMsg::RuleTick { .. } => {
-                self.stats.borrow_mut().batches += 1;
+                self.stats.inc("batch.batches");
                 let req = self.req();
                 self.phase = Phase::Enumerating { req };
                 let me = ctx.me();
@@ -89,7 +135,9 @@ impl Actor<CmMsg> for BatchAgent {
                 );
             }
             CmMsg::Cmi(TranslatorEvent::EnumResult { req_id, items }) => {
-                let Phase::Enumerating { req } = &self.phase else { return };
+                let Phase::Enumerating { req } = &self.phase else {
+                    return;
+                };
                 if *req != req_id {
                     return;
                 }
@@ -113,21 +161,33 @@ impl Actor<CmMsg> for BatchAgent {
                 self.phase = if pending.is_empty() {
                     Phase::Idle
                 } else {
-                    Phase::Reading { pending, writes_outstanding: 0 }
+                    Phase::Reading {
+                        pending,
+                        writes_outstanding: 0,
+                    }
                 };
             }
             CmMsg::Cmi(TranslatorEvent::ReadResult { req_id, value, .. }) => {
                 let (branch_item, w, empty) = {
-                    let Phase::Reading { pending, writes_outstanding } = &mut self.phase else {
+                    let Phase::Reading {
+                        pending,
+                        writes_outstanding,
+                    } = &mut self.phase
+                    else {
                         return;
                     };
-                    let Some(item) = pending.remove(&req_id) else { return };
+                    let Some(item) = pending.remove(&req_id) else {
+                        return;
+                    };
                     *writes_outstanding += 1;
                     (item, *writes_outstanding, pending.is_empty())
                 };
-                let hq_item = ItemId { base: "hbal".into(), params: branch_item.params };
+                let hq_item = ItemId {
+                    base: "hbal".into(),
+                    params: branch_item.params,
+                };
                 let r = self.req();
-                self.stats.borrow_mut().propagated += 1;
+                self.stats.inc("batch.propagated");
                 let me = ctx.me();
                 ctx.send_local(
                     self.hq_translator,
@@ -141,7 +201,9 @@ impl Actor<CmMsg> for BatchAgent {
                     SimDuration::from_millis(1),
                 );
                 if empty {
-                    self.phase = Phase::Writing { writes_outstanding: w };
+                    self.phase = Phase::Writing {
+                        writes_outstanding: w,
+                    };
                 }
             }
             CmMsg::Cmi(TranslatorEvent::WriteDone { .. }) => {
@@ -150,7 +212,9 @@ impl Actor<CmMsg> for BatchAgent {
                         *writes_outstanding -= 1;
                         *writes_outstanding == 0
                     }
-                    Phase::Reading { writes_outstanding, .. } => {
+                    Phase::Reading {
+                        writes_outstanding, ..
+                    } => {
                         *writes_outstanding -= 1;
                         false
                     }
@@ -158,7 +222,11 @@ impl Actor<CmMsg> for BatchAgent {
                 };
                 if done {
                     self.phase = Phase::Idle;
-                    self.stats.borrow_mut().last_finish = Some(ctx.now());
+                    self.stats.metrics.gauge_set(
+                        self.stats.scope,
+                        "batch.last_finish_ms",
+                        ctx.now().as_millis() as i64,
+                    );
                 }
             }
             other => panic!("batch agent: unexpected message {other:?}"),
@@ -216,7 +284,7 @@ pub struct BankScenario {
     /// The batch agent.
     pub agent: ActorId,
     /// Counters.
-    pub stats: Rc<RefCell<BatchStats>>,
+    pub stats: BatchStatsHandle,
 }
 
 /// Build the banking deployment: `accounts` at both sites with the
@@ -228,7 +296,8 @@ pub fn build(seed: u64, accounts: &[(&str, i64)], batch_times: &[SimTime]) -> Ba
         let mut db = hcm_ris::relational::Database::new();
         db.create_table("accounts", &["acct", "bal"]).unwrap();
         for (a, v) in rows {
-            db.execute(&format!("INSERT INTO accounts VALUES ('{a}', {v})")).unwrap();
+            db.execute(&format!("INSERT INTO accounts VALUES ('{a}', {v})"))
+                .unwrap();
         }
         db
     };
@@ -240,7 +309,7 @@ pub fn build(seed: u64, accounts: &[(&str, i64)], batch_times: &[SimTime]) -> Ba
         .strategy("[locate]\nbbal = BR\nhbal = HQ\n")
         .build()
         .unwrap();
-    let stats = Rc::new(RefCell::new(BatchStats::default()));
+    let stats = BatchStatsHandle::new(scenario.obs.metrics.clone());
     let bt = scenario.site("BR").translator;
     let ht = scenario.site("HQ").translator;
     let agent = scenario.add_actor(Box::new(BatchAgent {
@@ -251,7 +320,11 @@ pub fn build(seed: u64, accounts: &[(&str, i64)], batch_times: &[SimTime]) -> Ba
         phase: Phase::Idle,
         stats: stats.clone(),
     }));
-    BankScenario { scenario, agent, stats }
+    BankScenario {
+        scenario,
+        agent,
+        stats,
+    }
 }
 
 impl BankScenario {
@@ -319,11 +392,11 @@ mod tests {
         assert!(b.stats.borrow().propagated >= 2);
         // Batch finished within the 15-minute window.
         let finish = b.stats.borrow().last_finish.unwrap();
-        assert!(finish <= SimTime::from_secs(FIVE_FIFTEEN_PM), "batch finished at {finish}");
-        let g = BankScenario::night_guarantee(
-            FIVE_FIFTEEN_PM * 1000,
-            EIGHT_AM_NEXT * 1000,
+        assert!(
+            finish <= SimTime::from_secs(FIVE_FIFTEEN_PM),
+            "batch finished at {finish}"
         );
+        let g = BankScenario::night_guarantee(FIVE_FIFTEEN_PM * 1000, EIGHT_AM_NEXT * 1000);
         let r = check_guarantee(&trace, &g, None);
         assert!(r.holds, "{:#?}", r.violations);
         assert!(r.instantiations > 0);
@@ -340,7 +413,10 @@ mod tests {
         let trace = b.scenario.trace();
         let g = BankScenario::night_guarantee(NINE_AM * 1000, EIGHT_AM_NEXT * 1000);
         let r = check_guarantee(&trace, &g, None);
-        assert!(!r.holds, "daytime divergence must violate the widened window");
+        assert!(
+            !r.holds,
+            "daytime divergence must violate the widened window"
+        );
     }
 
     #[test]
@@ -351,24 +427,15 @@ mod tests {
         // margin "significantly larger than the expected skew", §7.2)
         // repairs it.
         let skew = 1200; // 20 min
-        let mut b = build(
-            3,
-            &[("a1", 100)],
-            &[SimTime::from_secs(FIVE_PM + skew)],
-        );
+        let mut b = build(3, &[("a1", 100)], &[SimTime::from_secs(FIVE_PM + skew)]);
         working_day(&mut b);
         pad_horizon(&mut b);
         b.scenario.run_to_quiescence();
         let trace = b.scenario.trace();
-        let tight = BankScenario::night_guarantee(
-            FIVE_FIFTEEN_PM * 1000,
-            EIGHT_AM_NEXT * 1000,
-        );
+        let tight = BankScenario::night_guarantee(FIVE_FIFTEEN_PM * 1000, EIGHT_AM_NEXT * 1000);
         assert!(!check_guarantee(&trace, &tight, None).holds);
-        let margin = BankScenario::night_guarantee(
-            (FIVE_FIFTEEN_PM + skew) * 1000,
-            EIGHT_AM_NEXT * 1000,
-        );
+        let margin =
+            BankScenario::night_guarantee((FIVE_FIFTEEN_PM + skew) * 1000, EIGHT_AM_NEXT * 1000);
         let r = check_guarantee(&trace, &margin, None);
         assert!(r.holds, "{:#?}", r.violations);
     }

@@ -23,13 +23,12 @@
 //! discharges the antecedent.
 
 use hcm_core::{ItemId, SimDuration, SimTime, Value};
+use hcm_obs::{Metrics, Scope};
 use hcm_simkit::{Actor, ActorId, Ctx};
 use hcm_toolkit::backends::RawStore;
 use hcm_toolkit::msg::{CmMsg, RequestKind, TranslatorEvent};
 use hcm_toolkit::{Scenario, ScenarioBuilder};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
 /// Repair-cycle counters.
 #[derive(Debug, Default, Clone)]
@@ -42,6 +41,41 @@ pub struct RefintStats {
     pub deleted: u64,
     /// Owner notifications mailed.
     pub notices_sent: u64,
+}
+
+/// Registry-backed view of the repair counters; [`RefintStats`] is the
+/// snapshot it materializes.
+#[derive(Clone)]
+pub struct RefintStatsHandle {
+    metrics: Metrics,
+    scope: Scope,
+}
+
+impl RefintStatsHandle {
+    /// A handle recording under `refint.*` at the global scope.
+    #[must_use]
+    pub fn new(metrics: Metrics) -> Self {
+        RefintStatsHandle {
+            metrics,
+            scope: Scope::Global,
+        }
+    }
+
+    fn inc(&self, name: &str) {
+        self.metrics.inc(self.scope, name);
+    }
+
+    /// Materialize an owned snapshot (source-compatible with the former
+    /// `RefCell` accessor).
+    #[must_use]
+    pub fn borrow(&self) -> RefintStats {
+        RefintStats {
+            cycles: self.metrics.counter(self.scope, "refint.cycles"),
+            examined: self.metrics.counter(self.scope, "refint.examined"),
+            deleted: self.metrics.counter(self.scope, "refint.deleted"),
+            notices_sent: self.metrics.counter(self.scope, "refint.notices_sent"),
+        }
+    }
 }
 
 enum Phase {
@@ -62,7 +96,7 @@ pub struct RefintAgent {
     stop_at: SimTime,
     next_req: u64,
     phase: Phase,
-    stats: Rc<RefCell<RefintStats>>,
+    stats: RefintStatsHandle,
 }
 
 impl RefintAgent {
@@ -87,7 +121,7 @@ impl Actor<CmMsg> for RefintAgent {
     fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {
         match msg {
             CmMsg::RuleTick { .. } => {
-                self.stats.borrow_mut().cycles += 1;
+                self.stats.inc("refint.cycles");
                 let req = self.req();
                 self.phase = Phase::Enumerating { req };
                 let me = ctx.me();
@@ -110,16 +144,22 @@ impl Actor<CmMsg> for RefintAgent {
                 }
             }
             CmMsg::Cmi(TranslatorEvent::EnumResult { req_id, items }) => {
-                let Phase::Enumerating { req } = &self.phase else { return };
+                let Phase::Enumerating { req } = &self.phase else {
+                    return;
+                };
                 if *req != req_id {
                     return;
                 }
-                self.stats.borrow_mut().examined += items.len() as u64;
+                self.stats
+                    .metrics
+                    .add(self.stats.scope, "refint.examined", items.len() as u64);
                 let mut pending = BTreeMap::new();
                 let me = ctx.me();
                 for project in items {
-                    let salary_item =
-                        ItemId { base: "salary".into(), params: project.params.clone() };
+                    let salary_item = ItemId {
+                        base: "salary".into(),
+                        params: project.params.clone(),
+                    };
                     let r = self.req();
                     pending.insert(r, project);
                     ctx.send_local(
@@ -141,18 +181,22 @@ impl Actor<CmMsg> for RefintAgent {
                 };
             }
             CmMsg::Cmi(TranslatorEvent::ReadResult { req_id, value, .. }) => {
-                let Phase::Reading { pending } = &mut self.phase else { return };
-                let Some(project) = pending.remove(&req_id) else { return };
+                let Phase::Reading { pending } = &mut self.phase else {
+                    return;
+                };
+                let Some(project) = pending.remove(&req_id) else {
+                    return;
+                };
                 let done = pending.is_empty();
                 if value == Value::Null {
                     // Dangling: delete the project record and notify
                     // its owner (§6.2: "perhaps notifying the database
                     // owner of the deleted records").
-                    self.stats.borrow_mut().deleted += 1;
+                    self.stats.inc("refint.deleted");
                     let r = self.req();
                     let me = ctx.me();
                     if let Some(mailer) = self.mail_translator {
-                        self.stats.borrow_mut().notices_sent += 1;
+                        self.stats.inc("refint.notices_sent");
                         let notice = ItemId {
                             base: "notice".into(),
                             params: project.params.clone(),
@@ -247,7 +291,7 @@ pub struct RefintScenario {
     /// Repair agent.
     pub agent: ActorId,
     /// Counters.
-    pub stats: Rc<RefCell<RefintStats>>,
+    pub stats: RefintStatsHandle,
     /// The repair period (the guarantee window W).
     pub window: SimDuration,
 }
@@ -257,22 +301,30 @@ pub struct RefintScenario {
 #[must_use]
 pub fn build(seed: u64, window: SimDuration, stop_at: SimTime) -> RefintScenario {
     let mut projects = hcm_ris::relational::Database::new();
-    projects.create_table("projects", &["empid", "proj"]).unwrap();
+    projects
+        .create_table("projects", &["empid", "proj"])
+        .unwrap();
     let mut salaries = hcm_ris::relational::Database::new();
-    salaries.create_table("salaries", &["empid", "amount"]).unwrap();
+    salaries
+        .create_table("salaries", &["empid", "amount"])
+        .unwrap();
 
     let mut scenario = ScenarioBuilder::new(seed)
         .site("P", RawStore::Relational(projects), RID_PROJECTS)
         .unwrap()
         .site("S", RawStore::Relational(salaries), RID_SALARIES)
         .unwrap()
-        .site("M", RawStore::Email(hcm_ris::email::MailSystem::new()), RID_MAIL)
+        .site(
+            "M",
+            RawStore::Email(hcm_ris::email::MailSystem::new()),
+            RID_MAIL,
+        )
         .unwrap()
         .strategy("[locate]\nproject = P\nsalary = S\nnotice = M\n")
         .build()
         .unwrap();
 
-    let stats = Rc::new(RefCell::new(RefintStats::default()));
+    let stats = RefintStatsHandle::new(scenario.obs.metrics.clone());
     let pt = scenario.site("P").translator;
     let st = scenario.site("S").translator;
     let mt = scenario.site("M").translator;
@@ -286,7 +338,12 @@ pub fn build(seed: u64, window: SimDuration, stop_at: SimTime) -> RefintScenario
         phase: Phase::Idle,
         stats: stats.clone(),
     }));
-    RefintScenario { scenario, agent, stats, window }
+    RefintScenario {
+        scenario,
+        agent,
+        stats,
+        window,
+    }
 }
 
 impl RefintScenario {
@@ -397,7 +454,10 @@ mod tests {
         r.scenario.run_to_quiescence();
         let trace = r.scenario.trace();
         let rep = check_guarantee(&trace, &r.guarantee(), None);
-        assert!(!rep.holds, "dangling project must violate the window guarantee");
+        assert!(
+            !rep.holds,
+            "dangling project must violate the window guarantee"
+        );
     }
 
     #[test]

@@ -18,10 +18,9 @@
 //! local updates keep flowing).
 
 use hcm_core::{SimDuration, SimTime};
+use hcm_obs::{Metrics, Scope};
 use hcm_simkit::{Actor, ActorId, Ctx, RunOutcome, Sim};
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
 
 /// Messages of the 2PC world.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,7 +96,12 @@ impl Participant {
     /// A participant with an initial value.
     #[must_use]
     pub fn new(value: i64, coordinator: ActorId, service: SimDuration) -> Self {
-        Participant { value, locked_by: None, coordinator, service }
+        Participant {
+            value,
+            locked_by: None,
+            coordinator,
+            service,
+        }
     }
 
     /// Current value (test inspection).
@@ -123,7 +127,15 @@ impl Actor<TpcMsg> for Participant {
             TpcMsg::SendVote { txn, ok } => {
                 let me = ctx.me();
                 let value = self.value;
-                ctx.send(self.coordinator, TpcMsg::Vote { txn, from: me, value, ok });
+                ctx.send(
+                    self.coordinator,
+                    TpcMsg::Vote {
+                        txn,
+                        from: me,
+                        value,
+                        ok,
+                    },
+                );
             }
             TpcMsg::Commit { txn, delta } => {
                 if self.locked_by == Some(txn) {
@@ -160,6 +172,53 @@ pub struct TpcStats {
     pub messages: u64,
 }
 
+/// Registry-backed view of the 2PC counters; [`TpcStats`] is the
+/// snapshot it materializes. Commit latencies live in the registry's
+/// `tpc.latency_ms` series so exporters see them too.
+#[derive(Clone)]
+pub struct TpcStatsHandle {
+    metrics: Metrics,
+    scope: Scope,
+}
+
+impl TpcStatsHandle {
+    /// A handle recording under `tpc.*` at the global scope.
+    #[must_use]
+    pub fn new(metrics: Metrics) -> Self {
+        TpcStatsHandle {
+            metrics,
+            scope: Scope::Global,
+        }
+    }
+
+    fn inc(&self, name: &str) {
+        self.metrics.inc(self.scope, name);
+    }
+
+    fn add(&self, name: &str, n: u64) {
+        self.metrics.add(self.scope, name, n);
+    }
+
+    /// Materialize an owned snapshot (source-compatible with the former
+    /// `RefCell` accessor).
+    #[must_use]
+    pub fn borrow(&self) -> TpcStats {
+        TpcStats {
+            submitted: self.metrics.counter(self.scope, "tpc.submitted"),
+            committed: self.metrics.counter(self.scope, "tpc.committed"),
+            aborted_constraint: self.metrics.counter(self.scope, "tpc.aborted_constraint"),
+            aborted_unavailable: self.metrics.counter(self.scope, "tpc.aborted_unavailable"),
+            latencies_ms: self
+                .metrics
+                .series(self.scope, "tpc.latency_ms")
+                .into_iter()
+                .map(|v| v as u64)
+                .collect(),
+            messages: self.metrics.counter(self.scope, "tpc.messages"),
+        }
+    }
+}
+
 struct Txn {
     target: ActorId,
     delta: i64,
@@ -185,18 +244,13 @@ pub struct Coordinator {
     next_txn: u64,
     pending_acks: std::collections::BTreeMap<u64, u8>,
     timeout: SimDuration,
-    stats: Rc<RefCell<TpcStats>>,
+    stats: TpcStatsHandle,
 }
 
 impl Coordinator {
     /// A coordinator over the two participants.
     #[must_use]
-    pub fn new(
-        px: ActorId,
-        py: ActorId,
-        timeout: SimDuration,
-        stats: Rc<RefCell<TpcStats>>,
-    ) -> Self {
+    pub fn new(px: ActorId, py: ActorId, timeout: SimDuration, stats: TpcStatsHandle) -> Self {
         Coordinator {
             px,
             py,
@@ -214,41 +268,58 @@ impl Coordinator {
         if self.active.is_some() {
             return;
         }
-        let Some((target, delta, submitted)) = self.queue.pop_front() else { return };
+        let Some((target, delta, submitted)) = self.queue.pop_front() else {
+            return;
+        };
         let txn = self.next_txn;
         self.next_txn += 1;
         self.txns.insert(
             txn,
-            Txn { target, delta, submitted, votes: Vec::new(), state: TxnState::Preparing },
+            Txn {
+                target,
+                delta,
+                submitted,
+                votes: Vec::new(),
+                state: TxnState::Preparing,
+            },
         );
         self.active = Some(txn);
         ctx.send(self.px, TpcMsg::Prepare { txn });
         ctx.send(self.py, TpcMsg::Prepare { txn });
-        self.stats.borrow_mut().messages += 2;
+        self.stats.add("tpc.messages", 2);
         ctx.schedule_self(self.timeout, TpcMsg::Timeout { txn });
     }
 
     /// Second phase: commit or abort, then wait for both acks.
     fn resolve(&mut self, txn: u64, commit: bool, ctx: &mut Ctx<'_, TpcMsg>) {
-        let Some(t) = self.txns.get_mut(&txn) else { return };
+        let Some(t) = self.txns.get_mut(&txn) else {
+            return;
+        };
         if t.state != TxnState::Preparing {
             return;
         }
         t.state = TxnState::Resolving;
         self.pending_acks.insert(txn, 2);
         if commit {
-            let (dx, dy) = if t.target == self.px { (t.delta, 0) } else { (0, t.delta) };
+            let (dx, dy) = if t.target == self.px {
+                (t.delta, 0)
+            } else {
+                (0, t.delta)
+            };
             let lat = ctx.now().saturating_since(t.submitted);
             ctx.send(self.px, TpcMsg::Commit { txn, delta: dx });
             ctx.send(self.py, TpcMsg::Commit { txn, delta: dy });
-            let mut s = self.stats.borrow_mut();
-            s.messages += 2;
-            s.committed += 1;
-            s.latencies_ms.push(lat.as_millis());
+            self.stats.add("tpc.messages", 2);
+            self.stats.inc("tpc.committed");
+            self.stats.metrics.series_push(
+                self.stats.scope,
+                "tpc.latency_ms",
+                lat.as_millis() as i64,
+            );
         } else {
             ctx.send(self.px, TpcMsg::Abort { txn });
             ctx.send(self.py, TpcMsg::Abort { txn });
-            self.stats.borrow_mut().messages += 2;
+            self.stats.add("tpc.messages", 2);
         }
     }
 
@@ -266,20 +337,27 @@ impl Actor<TpcMsg> for Coordinator {
     fn on_message(&mut self, msg: TpcMsg, ctx: &mut Ctx<'_, TpcMsg>) {
         match msg {
             TpcMsg::Submit { target, delta } => {
-                self.stats.borrow_mut().submitted += 1;
+                self.stats.inc("tpc.submitted");
                 self.queue.push_back((target, delta, ctx.now()));
                 self.start_next(ctx);
             }
-            TpcMsg::Vote { txn, from, value, ok } => {
+            TpcMsg::Vote {
+                txn,
+                from,
+                value,
+                ok,
+            } => {
                 let constraint_abort;
                 let resolve_commit;
                 {
-                    let Some(t) = self.txns.get_mut(&txn) else { return };
+                    let Some(t) = self.txns.get_mut(&txn) else {
+                        return;
+                    };
                     if t.state != TxnState::Preparing {
                         return;
                     }
                     if !ok {
-                        self.stats.borrow_mut().aborted_unavailable += 1;
+                        self.stats.inc("tpc.aborted_unavailable");
                         self.resolve(txn, false, ctx);
                         return;
                     }
@@ -308,7 +386,7 @@ impl Actor<TpcMsg> for Coordinator {
                     constraint_abort = !resolve_commit;
                 }
                 if constraint_abort {
-                    self.stats.borrow_mut().aborted_constraint += 1;
+                    self.stats.inc("tpc.aborted_constraint");
                 }
                 self.resolve(txn, resolve_commit, ctx);
             }
@@ -330,7 +408,7 @@ impl Actor<TpcMsg> for Coordinator {
                     .get(&txn)
                     .is_some_and(|t| t.state == TxnState::Preparing);
                 if still_preparing {
-                    self.stats.borrow_mut().aborted_unavailable += 1;
+                    self.stats.inc("tpc.aborted_unavailable");
                     // Participants may be dead: abort best-effort and
                     // move on without waiting for acks.
                     if let Some(t) = self.txns.get_mut(&txn) {
@@ -338,7 +416,7 @@ impl Actor<TpcMsg> for Coordinator {
                     }
                     ctx.send(self.px, TpcMsg::Abort { txn });
                     ctx.send(self.py, TpcMsg::Abort { txn });
-                    self.stats.borrow_mut().messages += 2;
+                    self.stats.add("tpc.messages", 2);
                     self.finish(txn, ctx);
                 }
             }
@@ -358,7 +436,7 @@ pub struct TpcScenario {
     /// Y participant.
     pub py: ActorId,
     /// Counters.
-    pub stats: Rc<RefCell<TpcStats>>,
+    pub stats: TpcStatsHandle,
 }
 
 /// Build a 2PC scenario maintaining `X ≤ Y` with the given initial
@@ -366,17 +444,29 @@ pub struct TpcScenario {
 #[must_use]
 pub fn build(seed: u64, x0: i64, y0: i64) -> TpcScenario {
     let mut sim = Sim::new(seed);
-    let stats = Rc::new(RefCell::new(TpcStats::default()));
+    let stats = TpcStatsHandle::new(sim.obs().metrics);
     // Ids: participants 0,1; coordinator 2.
     let px_id = ActorId(0);
     let py_id = ActorId(1);
     let coord_id = ActorId(2);
     let service = SimDuration::from_millis(50);
-    assert_eq!(sim.add_actor(Box::new(Participant::new(x0, coord_id, service))), px_id);
-    assert_eq!(sim.add_actor(Box::new(Participant::new(y0, coord_id, service))), py_id);
+    assert_eq!(
+        sim.add_actor(Box::new(Participant::new(x0, coord_id, service))),
+        px_id
+    );
+    assert_eq!(
+        sim.add_actor(Box::new(Participant::new(y0, coord_id, service))),
+        py_id
+    );
     let c = Coordinator::new(px_id, py_id, SimDuration::from_secs(5), stats.clone());
     assert_eq!(sim.add_actor(Box::new(c)), coord_id);
-    TpcScenario { sim, coordinator: coord_id, px: px_id, py: py_id, stats }
+    TpcScenario {
+        sim,
+        coordinator: coord_id,
+        px: px_id,
+        py: py_id,
+        stats,
+    }
 }
 
 impl TpcScenario {
@@ -384,9 +474,19 @@ impl TpcScenario {
     /// `delta` is the increase of X / decrease of Y (mirrors the
     /// demarcation driver so workloads are comparable).
     pub fn try_update(&mut self, t: SimTime, lower_side: bool, delta: i64) {
-        let (target, signed) = if lower_side { (self.px, delta) } else { (self.py, -delta) };
-        self.sim
-            .inject_at(t, self.coordinator, TpcMsg::Submit { target, delta: signed });
+        let (target, signed) = if lower_side {
+            (self.px, delta)
+        } else {
+            (self.py, -delta)
+        };
+        self.sim.inject_at(
+            t,
+            self.coordinator,
+            TpcMsg::Submit {
+                target,
+                delta: signed,
+            },
+        );
     }
 
     /// Run to quiescence.
@@ -415,7 +515,11 @@ mod tests {
         assert_eq!(st.latencies_ms.len(), 2);
         // Every committed update pays prepare + vote round trips plus
         // participant service time.
-        assert!(st.latencies_ms.iter().all(|&ms| ms >= 50), "{:?}", st.latencies_ms);
+        assert!(
+            st.latencies_ms.iter().all(|&ms| ms >= 50),
+            "{:?}",
+            st.latencies_ms
+        );
     }
 
     #[test]

@@ -55,8 +55,13 @@ impl FileStore {
     /// no clock of its own; the caller — translator or workload — is in
     /// the simulation and does).
     pub fn write(&mut self, path: &str, contents: &str, now: SimTime) {
-        self.files
-            .insert(path.to_owned(), File { contents: contents.to_owned(), mtime: now });
+        self.files.insert(
+            path.to_owned(),
+            File {
+                contents: contents.to_owned(),
+                mtime: now,
+            },
+        );
     }
 
     /// Remove a file.

@@ -86,7 +86,10 @@ impl KvStore {
     pub fn watch_prefix(&mut self, prefix: &str) -> u32 {
         let id = self.next_watch;
         self.next_watch += 1;
-        self.watches.push(Watch { id, prefix: prefix.to_owned() });
+        self.watches.push(Watch {
+            id,
+            prefix: prefix.to_owned(),
+        });
         id
     }
 

@@ -135,9 +135,12 @@ impl Database {
     /// Create a table programmatically (equivalent to `CREATE TABLE`).
     pub fn create_table(&mut self, name: &str, columns: &[&str]) -> Result<(), RisError> {
         if self.tables.contains_key(name) {
-            return Err(RisError::BadCommand(format!("table `{name}` already exists")));
+            return Err(RisError::BadCommand(format!(
+                "table `{name}` already exists"
+            )));
         }
-        self.tables.insert(name.to_owned(), Table::new(name, columns));
+        self.tables
+            .insert(name.to_owned(), Table::new(name, columns));
         Ok(())
     }
 
@@ -149,7 +152,11 @@ impl Database {
         }
         let id = self.next_trigger;
         self.next_trigger += 1;
-        self.triggers.push(Trigger { id, table: table.to_owned(), ops: ops.to_vec() });
+        self.triggers.push(Trigger {
+            id,
+            table: table.to_owned(),
+            ops: ops.to_vec(),
+        });
         Ok(id)
     }
 
@@ -161,9 +168,10 @@ impl Database {
     /// Install a CHECK constraint. Existing rows must already satisfy
     /// it.
     pub fn add_check(&mut self, check: Check) -> Result<(), RisError> {
-        let table = self.tables.get(&check.table).ok_or_else(|| {
-            RisError::NotFound(format!("table `{}`", check.table))
-        })?;
+        let table = self
+            .tables
+            .get(&check.table)
+            .ok_or_else(|| RisError::NotFound(format!("table `{}`", check.table)))?;
         for row in table.rows() {
             if !eval_check(&check, table, row)? {
                 return Err(RisError::ConstraintViolation(format!(
@@ -196,7 +204,10 @@ impl Database {
             .ok_or_else(|| RisError::NotFound(format!("table `{table}`")))?;
         let ki = t.col_index(key_col)?;
         let ci = t.col_index(col)?;
-        Ok(t.rows().iter().find(|r| &r[ki] == key).map(|r| r[ci].clone()))
+        Ok(t.rows()
+            .iter()
+            .find(|r| &r[ki] == key)
+            .map(|r| r[ci].clone()))
     }
 
     /// Execute a textual command — the RISI. This is the *only* channel
@@ -215,30 +226,42 @@ impl Database {
                 self.create_table(name, &cols)?;
                 Ok(QueryResult::Ok)
             }
-            Command::Insert { table, columns, values } => {
-                self.insert(table, columns.as_deref(), values.clone())
-            }
-            Command::DropTable { name } => {
-                self.tables
-                    .remove(name)
-                    .map(|_| QueryResult::Ok)
-                    .ok_or_else(|| RisError::NotFound(format!("table `{name}`")))
-            }
-            Command::Select { table, columns, predicate, order, limit } => {
-                self.select(table, columns, predicate, order.as_ref(), *limit)
-            }
-            Command::SelectAggregate { table, agg, column, predicate } => {
-                self.select_aggregate(table, *agg, column.as_deref(), predicate)
-            }
-            Command::Update { table, assignments, predicate } => {
-                self.update(table, assignments, predicate)
-            }
+            Command::Insert {
+                table,
+                columns,
+                values,
+            } => self.insert(table, columns.as_deref(), values.clone()),
+            Command::DropTable { name } => self
+                .tables
+                .remove(name)
+                .map(|_| QueryResult::Ok)
+                .ok_or_else(|| RisError::NotFound(format!("table `{name}`"))),
+            Command::Select {
+                table,
+                columns,
+                predicate,
+                order,
+                limit,
+            } => self.select(table, columns, predicate, order.as_ref(), *limit),
+            Command::SelectAggregate {
+                table,
+                agg,
+                column,
+                predicate,
+            } => self.select_aggregate(table, *agg, column.as_deref(), predicate),
+            Command::Update {
+                table,
+                assignments,
+                predicate,
+            } => self.update(table, assignments, predicate),
             Command::Delete { table, predicate } => self.delete(table, predicate),
         }
     }
 
     fn table(&self, name: &str) -> Result<&Table, RisError> {
-        self.tables.get(name).ok_or_else(|| RisError::NotFound(format!("table `{name}`")))
+        self.tables
+            .get(name)
+            .ok_or_else(|| RisError::NotFound(format!("table `{name}`")))
     }
 
     fn insert(
@@ -297,11 +320,17 @@ impl Database {
         let proj: Vec<usize> = if columns.len() == 1 && columns[0] == "*" {
             (0..t.columns().len()).collect()
         } else {
-            columns.iter().map(|c| t.col_index(c)).collect::<Result<_, _>>()?
+            columns
+                .iter()
+                .map(|c| t.col_index(c))
+                .collect::<Result<_, _>>()?
         };
         let pred_idx = compile_predicate(t, predicate)?;
-        let mut matched: Vec<&Row> =
-            t.rows().iter().filter(|row| matches_pred(row, &pred_idx)).collect();
+        let mut matched: Vec<&Row> = t
+            .rows()
+            .iter()
+            .filter(|row| matches_pred(row, &pred_idx))
+            .collect();
         if let Some(ob) = order {
             let oi = t.col_index(&ob.column)?;
             matched.sort_by(|a, b| {
@@ -321,7 +350,10 @@ impl Database {
             .map(|row| proj.iter().map(|&i| row[i].clone()).collect())
             .collect();
         let out_cols = proj.iter().map(|&i| t.columns()[i].clone()).collect();
-        Ok(QueryResult::Rows { columns: out_cols, rows })
+        Ok(QueryResult::Rows {
+            columns: out_cols,
+            rows,
+        })
     }
 
     fn select_aggregate(
@@ -333,17 +365,22 @@ impl Database {
     ) -> Result<QueryResult, RisError> {
         let t = self.table(table)?;
         let pred_idx = compile_predicate(t, predicate)?;
-        let matched: Vec<&Row> =
-            t.rows().iter().filter(|row| matches_pred(row, &pred_idx)).collect();
+        let matched: Vec<&Row> = t
+            .rows()
+            .iter()
+            .filter(|row| matches_pred(row, &pred_idx))
+            .collect();
         let value = match agg {
             Aggregate::Count => Value::Int(matched.len() as i64),
             _ => {
-                let col = column.ok_or_else(|| {
-                    RisError::BadCommand(format!("{agg:?} needs a column"))
-                })?;
+                let col = column
+                    .ok_or_else(|| RisError::BadCommand(format!("{agg:?} needs a column")))?;
                 let ci = t.col_index(col)?;
-                let nums: Vec<&Value> =
-                    matched.iter().map(|r| &r[ci]).filter(|v| v.exists()).collect();
+                let nums: Vec<&Value> = matched
+                    .iter()
+                    .map(|r| &r[ci])
+                    .filter(|v| v.exists())
+                    .collect();
                 if nums.is_empty() {
                     Value::Null
                 } else {
@@ -360,18 +397,12 @@ impl Database {
                                 .try_fold(Value::Int(0), |acc, v| acc.add(v))
                                 .and_then(|s| s.as_f64())
                                 .ok_or_else(|| {
-                                    RisError::BadCommand(format!(
-                                        "AVG over non-numeric `{col}`"
-                                    ))
+                                    RisError::BadCommand(format!("AVG over non-numeric `{col}`"))
                                 })?;
                             Value::Float(sum / nums.len() as f64)
                         }
-                        Aggregate::Min => {
-                            (*nums.iter().min().expect("non-empty")).clone()
-                        }
-                        Aggregate::Max => {
-                            (*nums.iter().max().expect("non-empty")).clone()
-                        }
+                        Aggregate::Min => (*nums.iter().min().expect("non-empty")).clone(),
+                        Aggregate::Max => (*nums.iter().max().expect("non-empty")).clone(),
                         Aggregate::Count => unreachable!(),
                     }
                 }
@@ -395,8 +426,12 @@ impl Database {
             .map(|(c, v)| Ok((t.col_index(c)?, v.clone())))
             .collect::<Result<_, RisError>>()?;
         let pred_idx = compile_predicate(t, predicate)?;
-        let checks: Vec<Check> =
-            self.checks.iter().filter(|c| c.table == table).cloned().collect();
+        let checks: Vec<Check> = self
+            .checks
+            .iter()
+            .filter(|c| c.table == table)
+            .cloned()
+            .collect();
 
         // Two-phase: compute all updated rows, validate checks, then
         // apply — a violating command changes nothing.
@@ -470,7 +505,12 @@ impl Database {
 impl fmt::Display for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (name, t) in &self.tables {
-            writeln!(f, "{name}({}) — {} rows", t.columns().join(", "), t.rows().len())?;
+            writeln!(
+                f,
+                "{name}({}) — {} rows",
+                t.columns().join(", "),
+                t.rows().len()
+            )?;
         }
         Ok(())
     }
@@ -508,26 +548,35 @@ mod tests {
 
     fn salary_db() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE employees (empid, name, salary)").unwrap();
-        db.execute("INSERT INTO employees VALUES ('e1', 'ann', 90000)").unwrap();
-        db.execute("INSERT INTO employees VALUES ('e2', 'bob', 80000)").unwrap();
+        db.execute("CREATE TABLE employees (empid, name, salary)")
+            .unwrap();
+        db.execute("INSERT INTO employees VALUES ('e1', 'ann', 90000)")
+            .unwrap();
+        db.execute("INSERT INTO employees VALUES ('e2', 'bob', 80000)")
+            .unwrap();
         db
     }
 
     #[test]
     fn insert_select_update_delete() {
         let mut db = salary_db();
-        let r = db.execute("SELECT salary FROM employees WHERE empid = 'e1'").unwrap();
+        let r = db
+            .execute("SELECT salary FROM employees WHERE empid = 'e1'")
+            .unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(90000)));
 
         let r = db
             .execute("UPDATE employees SET salary = 95000 WHERE empid = 'e1'")
             .unwrap();
         assert_eq!(r, QueryResult::Affected(1));
-        let r = db.execute("SELECT salary FROM employees WHERE empid = 'e1'").unwrap();
+        let r = db
+            .execute("SELECT salary FROM employees WHERE empid = 'e1'")
+            .unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(95000)));
 
-        let r = db.execute("DELETE FROM employees WHERE empid = 'e2'").unwrap();
+        let r = db
+            .execute("DELETE FROM employees WHERE empid = 'e2'")
+            .unwrap();
         assert_eq!(r, QueryResult::Affected(1));
         let r = db.execute("SELECT * FROM employees").unwrap();
         match r {
@@ -543,9 +592,11 @@ mod tests {
     fn paper_write_command_shape() {
         // Exactly the §4.2.1 command, post parameter substitution.
         let mut db = salary_db();
-        db.execute("update employees set salary = 70000 where empid = 'e2'").unwrap();
+        db.execute("update employees set salary = 70000 where empid = 'e2'")
+            .unwrap();
         assert_eq!(
-            db.lookup("employees", "empid", &Value::from("e2"), "salary").unwrap(),
+            db.lookup("employees", "empid", &Value::from("e2"), "salary")
+                .unwrap(),
             Some(Value::Int(70000))
         );
     }
@@ -554,7 +605,8 @@ mod tests {
     fn triggers_fire_on_update_with_old_and_new() {
         let mut db = salary_db();
         let tid = db.add_trigger("employees", &[TriggerOp::Update]).unwrap();
-        db.execute("UPDATE employees SET salary = 91000 WHERE empid = 'e1'").unwrap();
+        db.execute("UPDATE employees SET salary = 91000 WHERE empid = 'e1'")
+            .unwrap();
         let firings = db.take_firings();
         assert_eq!(firings.len(), 1);
         assert_eq!(firings[0].trigger_id, tid);
@@ -570,10 +622,12 @@ mod tests {
         let mut db = salary_db();
         db.create_table("other", &["a"]).unwrap();
         db.add_trigger("employees", &[TriggerOp::Delete]).unwrap();
-        db.execute("UPDATE employees SET salary = 1 WHERE empid = 'e1'").unwrap();
+        db.execute("UPDATE employees SET salary = 1 WHERE empid = 'e1'")
+            .unwrap();
         db.execute("INSERT INTO other VALUES (1)").unwrap();
         assert!(db.take_firings().is_empty());
-        db.execute("DELETE FROM employees WHERE empid = 'e1'").unwrap();
+        db.execute("DELETE FROM employees WHERE empid = 'e1'")
+            .unwrap();
         assert_eq!(db.take_firings().len(), 1);
     }
 
@@ -582,7 +636,8 @@ mod tests {
         let mut db = salary_db();
         let tid = db.add_trigger("employees", &[TriggerOp::Update]).unwrap();
         db.drop_trigger(tid);
-        db.execute("UPDATE employees SET salary = 1 WHERE empid = 'e1'").unwrap();
+        db.execute("UPDATE employees SET salary = 1 WHERE empid = 'e1'")
+            .unwrap();
         assert!(db.take_firings().is_empty());
     }
 
@@ -590,8 +645,10 @@ mod tests {
     fn check_constraint_rejects_violating_update_atomically() {
         // The demarcation local constraint: value <= lim, per row.
         let mut db = Database::new();
-        db.create_table("demarc", &["name", "value", "lim"]).unwrap();
-        db.execute("INSERT INTO demarc VALUES ('X', 10, 100)").unwrap();
+        db.create_table("demarc", &["name", "value", "lim"])
+            .unwrap();
+        db.execute("INSERT INTO demarc VALUES ('X', 10, 100)")
+            .unwrap();
         db.add_check(Check {
             table: "demarc".into(),
             left: CheckOperand::Col("value".into()),
@@ -600,17 +657,23 @@ mod tests {
         })
         .unwrap();
         // Within limit: fine.
-        db.execute("UPDATE demarc SET value = 100 WHERE name = 'X'").unwrap();
+        db.execute("UPDATE demarc SET value = 100 WHERE name = 'X'")
+            .unwrap();
         // Beyond limit: rejected, nothing changed.
-        let err = db.execute("UPDATE demarc SET value = 101 WHERE name = 'X'").unwrap_err();
+        let err = db
+            .execute("UPDATE demarc SET value = 101 WHERE name = 'X'")
+            .unwrap_err();
         assert!(matches!(err, RisError::ConstraintViolation(_)));
         assert_eq!(
-            db.lookup("demarc", "name", &Value::from("X"), "value").unwrap(),
+            db.lookup("demarc", "name", &Value::from("X"), "value")
+                .unwrap(),
             Some(Value::Int(100))
         );
         // Raising the limit then writing works.
-        db.execute("UPDATE demarc SET lim = 200 WHERE name = 'X'").unwrap();
-        db.execute("UPDATE demarc SET value = 150 WHERE name = 'X'").unwrap();
+        db.execute("UPDATE demarc SET lim = 200 WHERE name = 'X'")
+            .unwrap();
+        db.execute("UPDATE demarc SET value = 150 WHERE name = 'X'")
+            .unwrap();
     }
 
     #[test]
@@ -661,7 +724,10 @@ mod tests {
     #[test]
     fn errors() {
         let mut db = salary_db();
-        assert!(matches!(db.execute("SELECT x FROM nope"), Err(RisError::NotFound(_))));
+        assert!(matches!(
+            db.execute("SELECT x FROM nope"),
+            Err(RisError::NotFound(_))
+        ));
         assert!(matches!(
             db.execute("SELECT nosuchcol FROM employees"),
             Err(RisError::BadCommand(_))
@@ -698,7 +764,8 @@ mod sql_extension_tests {
         let mut db = Database::new();
         db.create_table("accounts", &["acct", "bal"]).unwrap();
         for (a, v) in [("a1", 100), ("a2", 250), ("a3", 50), ("a4", 250)] {
-            db.execute(&format!("INSERT INTO accounts VALUES ('{a}', {v})")).unwrap();
+            db.execute(&format!("INSERT INTO accounts VALUES ('{a}', {v})"))
+                .unwrap();
         }
         db
     }
@@ -732,20 +799,28 @@ mod sql_extension_tests {
     fn aggregates_respect_where() {
         let mut d = db();
         assert_eq!(
-            d.execute("SELECT COUNT(*) FROM accounts WHERE bal >= 100").unwrap().scalar(),
+            d.execute("SELECT COUNT(*) FROM accounts WHERE bal >= 100")
+                .unwrap()
+                .scalar(),
             Some(&Value::Int(3))
         );
         assert_eq!(
-            d.execute("SELECT SUM(bal) FROM accounts WHERE bal < 100").unwrap().scalar(),
+            d.execute("SELECT SUM(bal) FROM accounts WHERE bal < 100")
+                .unwrap()
+                .scalar(),
             Some(&Value::Int(50))
         );
         // Empty match: SUM/MIN/MAX yield NULL, COUNT yields 0.
         assert_eq!(
-            d.execute("SELECT SUM(bal) FROM accounts WHERE bal > 9999").unwrap().scalar(),
+            d.execute("SELECT SUM(bal) FROM accounts WHERE bal > 9999")
+                .unwrap()
+                .scalar(),
             Some(&Value::Null)
         );
         assert_eq!(
-            d.execute("SELECT COUNT(*) FROM accounts WHERE bal > 9999").unwrap().scalar(),
+            d.execute("SELECT COUNT(*) FROM accounts WHERE bal > 9999")
+                .unwrap()
+                .scalar(),
             Some(&Value::Int(0))
         );
     }
@@ -753,7 +828,9 @@ mod sql_extension_tests {
     #[test]
     fn order_by_and_limit() {
         let mut d = db();
-        let r = d.execute("SELECT acct FROM accounts ORDER BY bal DESC LIMIT 2").unwrap();
+        let r = d
+            .execute("SELECT acct FROM accounts ORDER BY bal DESC LIMIT 2")
+            .unwrap();
         match r {
             QueryResult::Rows { rows, .. } => {
                 // a2 and a4 tie at 250; deterministic by stable sort on
@@ -764,7 +841,9 @@ mod sql_extension_tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        let r = d.execute("SELECT acct FROM accounts ORDER BY bal ASC LIMIT 1").unwrap();
+        let r = d
+            .execute("SELECT acct FROM accounts ORDER BY bal ASC LIMIT 1")
+            .unwrap();
         assert_eq!(r.scalar(), Some(&Value::from("a3")));
     }
 
@@ -780,7 +859,10 @@ mod sql_extension_tests {
     fn aggregate_errors() {
         let mut d = db();
         assert!(d.execute("SELECT SUM(nosuch) FROM accounts").is_err());
-        assert!(d.execute("SELECT SUM(acct) FROM accounts").is_err(), "non-numeric");
+        assert!(
+            d.execute("SELECT SUM(acct) FROM accounts").is_err(),
+            "non-numeric"
+        );
         assert!(d.execute("SELECT LIMIT FROM accounts").is_err());
     }
 
@@ -789,7 +871,9 @@ mod sql_extension_tests {
         // COUNT(col) counts matching rows (no DISTINCT semantics).
         let mut d = db();
         assert_eq!(
-            d.execute("SELECT COUNT(bal) FROM accounts").unwrap().scalar(),
+            d.execute("SELECT COUNT(bal) FROM accounts")
+                .unwrap()
+                .scalar(),
             Some(&Value::Int(4))
         );
     }

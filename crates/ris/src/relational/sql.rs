@@ -393,7 +393,10 @@ impl P {
 
 /// Parse one command.
 pub fn parse_command(src: &str) -> Result<Command, RisError> {
-    let mut p = P { toks: tokenize(src)?, pos: 0 };
+    let mut p = P {
+        toks: tokenize(src)?,
+        pos: 0,
+    };
     let head = p.ident()?;
     let cmd = match head.to_ascii_uppercase().as_str() {
         "CREATE" => {
@@ -417,7 +420,11 @@ pub fn parse_command(src: &str) -> Result<Command, RisError> {
             };
             p.keyword("VALUES")?;
             let values = p.literal_list()?;
-            Command::Insert { table, columns, values }
+            Command::Insert {
+                table,
+                columns,
+                values,
+            }
         }
         "SELECT" => {
             // Aggregate head? `IDENT (` with an aggregate name.
@@ -454,7 +461,12 @@ pub fn parse_command(src: &str) -> Result<Command, RisError> {
                 p.keyword("FROM")?;
                 let table = p.ident()?;
                 let predicate = p.where_clause()?;
-                Command::SelectAggregate { table, agg, column, predicate }
+                Command::SelectAggregate {
+                    table,
+                    agg,
+                    column,
+                    predicate,
+                }
             } else {
                 let mut columns = Vec::new();
                 if matches!(p.peek(), Some(T::Star)) {
@@ -499,7 +511,13 @@ pub fn parse_command(src: &str) -> Result<Command, RisError> {
                 } else {
                     None
                 };
-                Command::Select { table, columns, predicate, order, limit }
+                Command::Select {
+                    table,
+                    columns,
+                    predicate,
+                    order,
+                    limit,
+                }
             }
         }
         "UPDATE" => {
@@ -521,7 +539,11 @@ pub fn parse_command(src: &str) -> Result<Command, RisError> {
                 }
             }
             let predicate = p.where_clause()?;
-            Command::Update { table, assignments, predicate }
+            Command::Update {
+                table,
+                assignments,
+                predicate,
+            }
         }
         "DELETE" => {
             p.keyword("FROM")?;
@@ -544,7 +566,10 @@ mod tests {
         let c = parse_command("CREATE TABLE t (a, b)").unwrap();
         assert_eq!(
             c,
-            Command::CreateTable { name: "t".into(), columns: vec!["a".into(), "b".into()] }
+            Command::CreateTable {
+                name: "t".into(),
+                columns: vec!["a".into(), "b".into()]
+            }
         );
     }
 
@@ -552,14 +577,22 @@ mod tests {
     fn parses_insert_variants() {
         let c = parse_command("INSERT INTO t VALUES (1, 'x', NULL)").unwrap();
         match c {
-            Command::Insert { columns: None, values, .. } => {
+            Command::Insert {
+                columns: None,
+                values,
+                ..
+            } => {
                 assert_eq!(values, vec![Value::Int(1), Value::from("x"), Value::Null]);
             }
             other => panic!("unexpected {other:?}"),
         }
         let c = parse_command("insert into t (b, a) values (2.5, TRUE)").unwrap();
         match c {
-            Command::Insert { columns: Some(cols), values, .. } => {
+            Command::Insert {
+                columns: Some(cols),
+                values,
+                ..
+            } => {
                 assert_eq!(cols, vec!["b".to_string(), "a".to_string()]);
                 assert_eq!(values, vec![Value::Float(2.5), Value::Bool(true)]);
             }
@@ -572,7 +605,12 @@ mod tests {
         let c = parse_command("SELECT salary FROM employees WHERE empid = 'e1' AND salary >= 0")
             .unwrap();
         match c {
-            Command::Select { table, columns, predicate, .. } => {
+            Command::Select {
+                table,
+                columns,
+                predicate,
+                ..
+            } => {
                 assert_eq!(table, "employees");
                 assert_eq!(columns, vec!["salary".to_string()]);
                 assert_eq!(predicate.len(), 2);
@@ -593,7 +631,11 @@ mod tests {
         // The exact command template from the paper's CM-RID (§4.2.1).
         let c = parse_command("update employees set salary = 90000 where empid = 'e42'").unwrap();
         match c {
-            Command::Update { table, assignments, predicate } => {
+            Command::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
                 assert_eq!(table, "employees");
                 assert_eq!(assignments, vec![("salary".to_string(), Value::Int(90000))]);
                 assert_eq!(predicate[0].value, Value::from("e42"));

@@ -3,11 +3,33 @@
 //! interface, like a real client) and by a trivial in-memory model;
 //! query results must agree, and trigger firings must mirror the
 //! model's mutations.
+//!
+//! Formerly proptest-based; now driven by a local SplitMix64 generator
+//! so the suite needs no external crates and stays deterministic.
 
 use hcm_core::Value;
 use hcm_ris::relational::{Database, QueryResult, TriggerOp};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+/// Minimal deterministic generator (SplitMix64).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next() % span) as i64
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -19,25 +41,41 @@ enum Op {
     Sum,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..12, -100i64..100).prop_map(|(id, v)| Op::Insert { id, v }),
-        (0u8..12, -100i64..100).prop_map(|(id, v)| Op::Update { id, v }),
-        (0u8..12).prop_map(|id| Op::Delete { id }),
-        (0u8..12).prop_map(|id| Op::SelectOne { id }),
-        Just(Op::Count),
-        Just(Op::Sum),
-    ]
+fn random_op(g: &mut Gen) -> Op {
+    match g.next() % 6 {
+        0 => Op::Insert {
+            id: g.int_in(0, 11) as u8,
+            v: g.int_in(-100, 99),
+        },
+        1 => Op::Update {
+            id: g.int_in(0, 11) as u8,
+            v: g.int_in(-100, 99),
+        },
+        2 => Op::Delete {
+            id: g.int_in(0, 11) as u8,
+        },
+        3 => Op::SelectOne {
+            id: g.int_in(0, 11) as u8,
+        },
+        4 => Op::Count,
+        _ => Op::Sum,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn engine_agrees_with_model() {
+    let mut g = Gen::new(0x4B15_0001);
+    for case in 0..128 {
+        let ops: Vec<Op> = (0..g.int_in(1, 59)).map(|_| random_op(&mut g)).collect();
 
-    #[test]
-    fn engine_agrees_with_model(ops in prop::collection::vec(arb_op(), 1..60)) {
         let mut db = Database::new();
         db.create_table("t", &["id", "v"]).unwrap();
-        let trig = db.add_trigger("t", &[TriggerOp::Insert, TriggerOp::Update, TriggerOp::Delete]).unwrap();
+        let trig = db
+            .add_trigger(
+                "t",
+                &[TriggerOp::Insert, TriggerOp::Update, TriggerOp::Delete],
+            )
+            .unwrap();
         let mut model: BTreeMap<u8, i64> = BTreeMap::new();
 
         for op in ops {
@@ -46,50 +84,60 @@ proptest! {
                     // The engine has no primary keys; model duplicate
                     // inserts as update-or-insert like the workloads do.
                     if model.contains_key(&id) {
-                        db.execute(&format!("UPDATE t SET v = {v} WHERE id = {id}")).unwrap();
+                        db.execute(&format!("UPDATE t SET v = {v} WHERE id = {id}"))
+                            .unwrap();
                     } else {
-                        db.execute(&format!("INSERT INTO t VALUES ({id}, {v})")).unwrap();
+                        db.execute(&format!("INSERT INTO t VALUES ({id}, {v})"))
+                            .unwrap();
                     }
                     let expect_fire = model.insert(id, v) != Some(v) || !model.contains_key(&id);
                     let firings = db.take_firings();
                     // An update to the same value fires no trigger? It
                     // does (the row was rewritten); only the *change
                     // mapping* filters. Here we just check the id.
-                    prop_assert!(firings.iter().all(|f| f.trigger_id == trig));
+                    assert!(firings.iter().all(|f| f.trigger_id == trig), "case {case}");
                     let _ = expect_fire;
                 }
                 Op::Update { id, v } => {
-                    let r = db.execute(&format!("UPDATE t SET v = {v} WHERE id = {id}")).unwrap();
+                    let r = db
+                        .execute(&format!("UPDATE t SET v = {v} WHERE id = {id}"))
+                        .unwrap();
                     let expected = usize::from(model.contains_key(&id));
-                    prop_assert_eq!(r, QueryResult::Affected(expected));
+                    assert_eq!(r, QueryResult::Affected(expected), "case {case}");
                     if model.insert(id, v).is_some() {
-                        prop_assert_eq!(db.take_firings().len(), 1);
+                        assert_eq!(db.take_firings().len(), 1, "case {case}");
                     } else {
                         model.remove(&id);
-                        prop_assert!(db.take_firings().is_empty());
+                        assert!(db.take_firings().is_empty(), "case {case}");
                     }
                 }
                 Op::Delete { id } => {
-                    let r = db.execute(&format!("DELETE FROM t WHERE id = {id}")).unwrap();
+                    let r = db
+                        .execute(&format!("DELETE FROM t WHERE id = {id}"))
+                        .unwrap();
                     let expected = usize::from(model.remove(&id).is_some());
-                    prop_assert_eq!(r, QueryResult::Affected(expected));
-                    prop_assert_eq!(db.take_firings().len(), expected);
+                    assert_eq!(r, QueryResult::Affected(expected), "case {case}");
+                    assert_eq!(db.take_firings().len(), expected, "case {case}");
                 }
                 Op::SelectOne { id } => {
-                    let r = db.execute(&format!("SELECT v FROM t WHERE id = {id}")).unwrap();
+                    let r = db
+                        .execute(&format!("SELECT v FROM t WHERE id = {id}"))
+                        .unwrap();
                     match (r.scalar(), model.get(&id)) {
-                        (Some(got), Some(want)) => prop_assert_eq!(got, &Value::Int(*want)),
+                        (Some(got), Some(want)) => assert_eq!(got, &Value::Int(*want)),
                         (None, None) => {}
                         (got, want) => {
-                            return Err(TestCaseError::fail(format!(
-                                "select mismatch for {id}: engine {got:?}, model {want:?}"
-                            )))
+                            panic!("case {case}: select mismatch for {id}: engine {got:?}, model {want:?}")
                         }
                     }
                 }
                 Op::Count => {
                     let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
-                    prop_assert_eq!(r.scalar(), Some(&Value::Int(model.len() as i64)));
+                    assert_eq!(
+                        r.scalar(),
+                        Some(&Value::Int(model.len() as i64)),
+                        "case {case}"
+                    );
                 }
                 Op::Sum => {
                     let r = db.execute("SELECT SUM(v) FROM t").unwrap();
@@ -98,7 +146,7 @@ proptest! {
                     } else {
                         Value::Int(model.values().sum())
                     };
-                    prop_assert_eq!(r.scalar(), Some(&want));
+                    assert_eq!(r.scalar(), Some(&want), "case {case}");
                 }
             }
         }
@@ -113,17 +161,22 @@ proptest! {
                     .collect();
                 let want: Vec<(i64, i64)> =
                     model.iter().map(|(k, v)| (i64::from(*k), *v)).collect();
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want, "case {case}");
             }
-            other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+            other => panic!("case {case}: unexpected {other:?}"),
         }
     }
+}
 
-    /// CHECK constraints: the engine accepts exactly the updates the
-    /// predicate admits, and rejected commands change nothing.
-    #[test]
-    fn check_constraints_are_exact(updates in prop::collection::vec(-50i64..150, 1..30)) {
-        use hcm_ris::relational::{Check, CheckOperand, SqlOp};
+/// CHECK constraints: the engine accepts exactly the updates the
+/// predicate admits, and rejected commands change nothing.
+#[test]
+fn check_constraints_are_exact() {
+    use hcm_ris::relational::{Check, CheckOperand, SqlOp};
+    let mut g = Gen::new(0x4B15_0002);
+    for case in 0..128 {
+        let updates: Vec<i64> = (0..g.int_in(1, 29)).map(|_| g.int_in(-50, 149)).collect();
+
         let mut db = Database::new();
         db.create_table("t", &["id", "v"]).unwrap();
         db.execute("INSERT INTO t VALUES (1, 0)").unwrap();
@@ -138,13 +191,13 @@ proptest! {
         for v in updates {
             let r = db.execute(&format!("UPDATE t SET v = {v} WHERE id = 1"));
             if v <= 100 {
-                prop_assert!(r.is_ok());
+                assert!(r.is_ok(), "case {case}: update to {v} rejected");
                 current = v;
             } else {
-                prop_assert!(r.is_err());
+                assert!(r.is_err(), "case {case}: update to {v} accepted");
             }
             let got = db.execute("SELECT v FROM t WHERE id = 1").unwrap();
-            prop_assert_eq!(got.scalar(), Some(&Value::Int(current)));
+            assert_eq!(got.scalar(), Some(&Value::Int(current)), "case {case}");
         }
     }
 }

@@ -147,7 +147,10 @@ impl Expr {
                     };
                     params.push(v);
                 }
-                env.item(&ItemId { base: pat.base.clone(), params })
+                env.item(&ItemId {
+                    base: pat.base.clone(),
+                    params,
+                })
             }
             Expr::Neg(e) => Value::Int(0).sub(&e.eval(env)?),
             Expr::Abs(e) => e.eval(env)?.abs(),
@@ -473,12 +476,21 @@ mod tests {
                     .map(|(_, v)| v.clone())
             }
             fn var(&self, name: &str) -> Option<Value> {
-                self.vars.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+                self.vars
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| v.clone())
             }
         }
         E {
-            vars: pairs.iter().map(|(n, v)| (n.to_string(), v.clone())).collect(),
-            items: items.iter().map(|(n, v)| (n.to_string(), v.clone())).collect(),
+            vars: pairs
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+            items: items
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
         }
     }
 
@@ -486,7 +498,10 @@ mod tests {
     fn expr_arithmetic() {
         let e = Expr::Add(
             Box::new(Expr::Var("a".into())),
-            Box::new(Expr::Mul(Box::new(Expr::Lit(Value::Int(2))), Box::new(Expr::Var("b".into())))),
+            Box::new(Expr::Mul(
+                Box::new(Expr::Lit(Value::Int(2))),
+                Box::new(Expr::Var("b".into())),
+            )),
         );
         let env = env(&[("a", Value::Int(1)), ("b", Value::Int(3))], &[]);
         assert_eq!(e.eval(&env), Some(Value::Int(7)));
@@ -504,8 +519,11 @@ mod tests {
             Some(Value::Int(4))
         );
         assert_eq!(
-            Expr::Div(Box::new(Expr::Lit(Value::Int(1))), Box::new(Expr::Lit(Value::Int(0))))
-                .eval(&env),
+            Expr::Div(
+                Box::new(Expr::Lit(Value::Int(1))),
+                Box::new(Expr::Lit(Value::Int(0)))
+            )
+            .eval(&env),
             None
         );
     }
@@ -559,8 +577,14 @@ mod tests {
     #[test]
     fn cmp_op_apply() {
         assert_eq!(CmpOp::Le.apply(&Value::Int(2), &Value::Int(2)), Some(true));
-        assert_eq!(CmpOp::Gt.apply(&Value::Str("b".into()), &Value::Str("a".into())), Some(true));
-        assert_eq!(CmpOp::Lt.apply(&Value::Str("b".into()), &Value::Int(1)), None);
+        assert_eq!(
+            CmpOp::Gt.apply(&Value::Str("b".into()), &Value::Str("a".into())),
+            Some(true)
+        );
+        assert_eq!(
+            CmpOp::Lt.apply(&Value::Str("b".into()), &Value::Int(1)),
+            None
+        );
         assert_eq!(CmpOp::Ne.apply(&Value::Int(1), &Value::Int(2)), Some(true));
         assert!(CmpOp::Lt.apply_time(SimTime::from_secs(1), SimTime::from_secs(2)));
     }
@@ -598,22 +622,37 @@ mod tests {
                 value: Term::var("b"),
             },
             cond: Cond::True,
-            rhs: TemplateDesc::W { item: ItemPattern::plain("X"), value: Term::var("b") },
+            rhs: TemplateDesc::W {
+                item: ItemPattern::plain("X"),
+                value: Term::var("b"),
+            },
             bound: SimDuration::from_secs(1),
         };
         assert_eq!(stmt.to_string(), "WR(X, b) -> W(X, b) within 1.000s");
         let g = Guarantee {
             name: "y_follows_x".into(),
             lhs: vec![GAtom::At(
-                Cond::Cmp(Expr::Item(ItemPattern::plain("Y")), CmpOp::Eq, Expr::Var("y".into())),
+                Cond::Cmp(
+                    Expr::Item(ItemPattern::plain("Y")),
+                    CmpOp::Eq,
+                    Expr::Var("y".into()),
+                ),
                 TimeExpr::Var("t1".into()),
             )],
             rhs: vec![
                 GAtom::At(
-                    Cond::Cmp(Expr::Item(ItemPattern::plain("X")), CmpOp::Eq, Expr::Var("y".into())),
+                    Cond::Cmp(
+                        Expr::Item(ItemPattern::plain("X")),
+                        CmpOp::Eq,
+                        Expr::Var("y".into()),
+                    ),
                     TimeExpr::Var("t2".into()),
                 ),
-                GAtom::TimeCmp(TimeExpr::Var("t2".into()), CmpOp::Lt, TimeExpr::Var("t1".into())),
+                GAtom::TimeCmp(
+                    TimeExpr::Var("t2".into()),
+                    CmpOp::Lt,
+                    TimeExpr::Var("t1".into()),
+                ),
             ],
         };
         assert_eq!(
@@ -624,7 +663,11 @@ mod tests {
 
     #[test]
     fn gatom_time_vars() {
-        let a = GAtom::Throughout(Cond::True, TimeExpr::Var("s".into()), TimeExpr::Offset("t".into(), -5));
+        let a = GAtom::Throughout(
+            Cond::True,
+            TimeExpr::Var("s".into()),
+            TimeExpr::Offset("t".into(), -5),
+        );
         assert_eq!(a.time_vars(), vec!["s", "t"]);
     }
 }

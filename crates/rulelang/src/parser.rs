@@ -68,7 +68,8 @@ impl Parser {
             Err(ParseError::new(format!(
                 "expected `{t}` at token {} (found {})",
                 self.pos,
-                self.peek().map_or("end of input".to_string(), |x| format!("`{x}`"))
+                self.peek()
+                    .map_or("end of input".to_string(), |x| format!("`{x}`"))
             )))
         }
     }
@@ -86,7 +87,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(ParseError::new(format!("expected keyword `{kw}` at token {}", self.pos)))
+            Err(ParseError::new(format!(
+                "expected keyword `{kw}` at token {}",
+                self.pos
+            )))
         }
     }
 
@@ -159,7 +163,9 @@ impl Parser {
     fn parse_item(&mut self) -> Result<ItemPattern, ParseError> {
         match self.next() {
             Some(Tok::Ident(base)) => self.finish_item(base),
-            other => Err(ParseError::new(format!("expected data-item name, found {other:?}"))),
+            other => Err(ParseError::new(format!(
+                "expected data-item name, found {other:?}"
+            ))),
         }
     }
 
@@ -170,7 +176,9 @@ impl Parser {
         let name = match self.next() {
             Some(Tok::Ident(n)) => n,
             other => {
-                return Err(ParseError::new(format!("expected event template, found {other:?}")))
+                return Err(ParseError::new(format!(
+                    "expected event template, found {other:?}"
+                )))
             }
         };
         if name == "false" {
@@ -184,9 +192,17 @@ impl Parser {
                 let first = self.parse_term()?;
                 if self.eat(&Tok::Comma) {
                     let new = self.parse_term()?;
-                    TemplateDesc::Ws { item, old: Some(first), new }
+                    TemplateDesc::Ws {
+                        item,
+                        old: Some(first),
+                        new,
+                    }
                 } else {
-                    TemplateDesc::Ws { item, old: None, new: first }
+                    TemplateDesc::Ws {
+                        item,
+                        old: None,
+                        new: first,
+                    }
                 }
             }
             "W" => {
@@ -201,7 +217,9 @@ impl Parser {
                 let value = self.parse_term()?;
                 TemplateDesc::Wr { item, value }
             }
-            "RR" => TemplateDesc::Rr { item: self.parse_item()? },
+            "RR" => TemplateDesc::Rr {
+                item: self.parse_item()?,
+            },
             "R" => {
                 let item = self.parse_item()?;
                 self.expect(&Tok::Comma)?;
@@ -316,7 +334,9 @@ impl Parser {
                     Ok(Expr::Var(name))
                 }
             }
-            other => Err(ParseError::new(format!("expected expression, found {other:?}"))),
+            other => Err(ParseError::new(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 
@@ -402,7 +422,11 @@ impl Parser {
 
     fn parse_interface_stmt(&mut self) -> Result<InterfaceStmt, ParseError> {
         let lhs = self.parse_template()?;
-        let cond = if self.eat_keyword("when") { self.parse_cond()? } else { Cond::True };
+        let cond = if self.eat_keyword("when") {
+            self.parse_cond()?
+        } else {
+            Cond::True
+        };
         self.expect(&Tok::Arrow)?;
         let rhs = self.parse_template()?;
         let bound = if rhs == TemplateDesc::False {
@@ -411,12 +435,21 @@ impl Parser {
             self.parse_within()?
         };
         self.expect_end()?;
-        Ok(InterfaceStmt { lhs, cond, rhs, bound })
+        Ok(InterfaceStmt {
+            lhs,
+            cond,
+            rhs,
+            bound,
+        })
     }
 
     fn parse_strategy(&mut self) -> Result<StrategyRule, ParseError> {
         let lhs = self.parse_template()?;
-        let cond = if self.eat_keyword("when") { self.parse_cond()? } else { Cond::True };
+        let cond = if self.eat_keyword("when") {
+            self.parse_cond()?
+        } else {
+            Cond::True
+        };
         self.expect(&Tok::Arrow)?;
         let mut steps = Vec::new();
         loop {
@@ -428,14 +461,22 @@ impl Parser {
                 Cond::True
             };
             let event = self.parse_template()?;
-            steps.push(RhsStep { cond: step_cond, event });
+            steps.push(RhsStep {
+                cond: step_cond,
+                event,
+            });
             if !self.eat(&Tok::Semi) {
                 break;
             }
         }
         let bound = self.parse_within()?;
         self.expect_end()?;
-        Ok(StrategyRule { lhs, cond, steps, bound })
+        Ok(StrategyRule {
+            lhs,
+            cond,
+            steps,
+            bound,
+        })
     }
 
     // ---- guarantees -------------------------------------------------------------
@@ -462,7 +503,9 @@ impl Parser {
                     Ok(TimeExpr::Var(v))
                 }
             }
-            other => Err(ParseError::new(format!("expected time expression, found {other:?}"))),
+            other => Err(ParseError::new(format!(
+                "expected time expression, found {other:?}"
+            ))),
         }
     }
 
@@ -526,9 +569,17 @@ impl Parser {
         let first = self.parse_gatoms()?;
         let g = if self.eat(&Tok::Implies) {
             let rhs = self.parse_gatoms()?;
-            Guarantee { name: name.to_owned(), lhs: first, rhs }
+            Guarantee {
+                name: name.to_owned(),
+                lhs: first,
+                rhs,
+            }
         } else {
-            Guarantee { name: name.to_owned(), lhs: Vec::new(), rhs: first }
+            Guarantee {
+                name: name.to_owned(),
+                lhs: Vec::new(),
+                rhs: first,
+            }
         };
         self.expect_end()?;
         Ok(g)
@@ -590,10 +641,14 @@ mod tests {
 
     #[test]
     fn parses_conditional_notify() {
-        let s = parse_interface("Ws(X, a, b) when abs(b - a) > 0.1 * a -> N(X, b) within 2s")
-            .unwrap();
+        let s =
+            parse_interface("Ws(X, a, b) when abs(b - a) > 0.1 * a -> N(X, b) within 2s").unwrap();
         match &s.lhs {
-            TemplateDesc::Ws { old: Some(Term::Var(o)), new: Term::Var(n), .. } => {
+            TemplateDesc::Ws {
+                old: Some(Term::Var(o)),
+                new: Term::Var(n),
+                ..
+            } => {
                 assert_eq!(o, "a");
                 assert_eq!(n, "b");
             }
@@ -606,7 +661,9 @@ mod tests {
     fn parses_periodic_notify() {
         let s = parse_interface("P(300s) when X = b -> N(X, b) within 500ms").unwrap();
         match &s.lhs {
-            TemplateDesc::P { period: Term::Const(Value::Int(ms)) } => assert_eq!(*ms, 300_000),
+            TemplateDesc::P {
+                period: Term::Const(Value::Int(ms)),
+            } => assert_eq!(*ms, 300_000),
             other => panic!("unexpected lhs {other:?}"),
         }
         assert_eq!(s.bound, SimDuration::from_millis(500));
@@ -621,8 +678,7 @@ mod tests {
 
     #[test]
     fn parses_parameterized_strategy() {
-        let r =
-            parse_strategy_rule("N(salary1(n), b) -> WR(salary2(n), b) within 5s").unwrap();
+        let r = parse_strategy_rule("N(salary1(n), b) -> WR(salary2(n), b) within 5s").unwrap();
         assert_eq!(r.steps.len(), 1);
         assert_eq!(r.bound, SimDuration::from_secs(5));
         assert_eq!(
@@ -767,7 +823,10 @@ mod tests {
     fn negative_constants_in_terms() {
         let t = parse_template("N(X, -5)").unwrap();
         match t {
-            TemplateDesc::N { value: Term::Const(Value::Int(v)), .. } => assert_eq!(v, -5),
+            TemplateDesc::N {
+                value: Term::Const(Value::Int(v)),
+                ..
+            } => assert_eq!(v, -5),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -53,7 +53,10 @@ impl Section {
         let mut m = BTreeMap::new();
         for l in &self.lines {
             let (k, v) = l.split_once('=').ok_or_else(|| SpecError {
-                msg: format!("expected `key = value` in section [{}], got `{l}`", self.kind()),
+                msg: format!(
+                    "expected `key = value` in section [{}], got `{l}`",
+                    self.kind()
+                ),
             })?;
             m.insert(k.trim().to_owned(), v.trim().to_owned());
         }
@@ -103,8 +106,7 @@ impl SpecFile {
                 let inner = rest.strip_suffix(']').ok_or_else(|| SpecError {
                     msg: format!("line {}: unterminated section header", lineno + 1),
                 })?;
-                let header: Vec<String> =
-                    inner.split_whitespace().map(str::to_owned).collect();
+                let header: Vec<String> = inner.split_whitespace().map(str::to_owned).collect();
                 if header.is_empty() {
                     return Err(SpecError {
                         msg: format!("line {}: empty section header", lineno + 1),
@@ -113,7 +115,10 @@ impl SpecFile {
                 if let Some(s) = current.take() {
                     spec.sections.push(s);
                 }
-                current = Some(Section { header, lines: Vec::new() });
+                current = Some(Section {
+                    header,
+                    lines: Vec::new(),
+                });
             } else {
                 match &mut current {
                     Some(s) => s.lines.push(line.to_owned()),
@@ -148,7 +153,9 @@ impl SpecFile {
             msg: format!("missing required section [{kind}]"),
         })?;
         if it.next().is_some() {
-            return Err(SpecError { msg: format!("duplicate section [{kind}]") });
+            return Err(SpecError {
+                msg: format!("duplicate section [{kind}]"),
+            });
         }
         Ok(first)
     }
@@ -158,7 +165,9 @@ impl SpecFile {
         self.props
             .get(key)
             .map(String::as_str)
-            .ok_or_else(|| SpecError { msg: format!("missing required property `{key}`") })
+            .ok_or_else(|| SpecError {
+                msg: format!("missing required property `{key}`"),
+            })
     }
 }
 
@@ -185,7 +194,10 @@ retry = 3
     #[test]
     fn parses_props_and_sections() {
         let spec = SpecFile::parse(SAMPLE).unwrap();
-        assert_eq!(spec.props.get("ris").map(String::as_str), Some("relational"));
+        assert_eq!(
+            spec.props.get("ris").map(String::as_str),
+            Some("relational")
+        );
         assert_eq!(spec.require("site").unwrap(), "A");
         assert_eq!(spec.sections.len(), 3);
         let cmd = spec.sections_of("command").next().unwrap();
@@ -232,10 +244,7 @@ retry = 3
     #[test]
     fn body_lines_keep_interior_content() {
         let spec = SpecFile::parse("[sql]\nselect * from t where a = \"x\"\n").unwrap();
-        assert_eq!(
-            spec.sections[0].lines[0],
-            "select * from t where a = \"x\""
-        );
+        assert_eq!(spec.sections[0].lines[0], "select * from t where a = \"x\"");
         // as_pairs on a non-kv section errors cleanly.
         let s = SpecFile::parse("[x]\nno equals here\n").unwrap();
         assert!(s.sections[0].as_pairs().is_err());

@@ -184,7 +184,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                     toks.push(Tok::Ne);
                     i += 2;
                 } else {
-                    return Err(LexError { pos: i, msg: "expected `!=`".into() });
+                    return Err(LexError {
+                        pos: i,
+                        msg: "expected `!=`".into(),
+                    });
                 }
             }
             '<' => {
@@ -226,7 +229,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(LexError { pos: i, msg: "unterminated string".into() });
+                    return Err(LexError {
+                        pos: i,
+                        msg: "unterminated string".into(),
+                    });
                 }
                 toks.push(Tok::Str(src[start..j].to_owned()));
                 i = j + 1;
@@ -304,7 +310,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                 toks.push(Tok::Ident(src[start..i].to_owned()));
             }
             other => {
-                return Err(LexError { pos: i, msg: format!("unexpected character `{other}`") })
+                return Err(LexError {
+                    pos: i,
+                    msg: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -342,8 +351,14 @@ mod tests {
 
     #[test]
     fn durations() {
-        assert_eq!(lex("500ms").unwrap(), vec![Tok::Duration(SimDuration::from_millis(500))]);
-        assert_eq!(lex("2.5s").unwrap(), vec![Tok::Duration(SimDuration::from_millis(2500))]);
+        assert_eq!(
+            lex("500ms").unwrap(),
+            vec![Tok::Duration(SimDuration::from_millis(500))]
+        );
+        assert_eq!(
+            lex("2.5s").unwrap(),
+            vec![Tok::Duration(SimDuration::from_millis(2500))]
+        );
         assert!(lex("5kg").is_err());
     }
 
@@ -359,7 +374,16 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             lex("= != < <= > >= => ->").unwrap(),
-            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Implies, Tok::Arrow]
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Implies,
+                Tok::Arrow
+            ]
         );
     }
 
@@ -367,7 +391,13 @@ mod tests {
     fn strings_and_numbers() {
         assert_eq!(
             lex("\"e42\" 17 2.5 -3").unwrap(),
-            vec![Tok::Str("e42".into()), Tok::Int(17), Tok::Float(2.5), Tok::Minus, Tok::Int(3)]
+            vec![
+                Tok::Str("e42".into()),
+                Tok::Int(17),
+                Tok::Float(2.5),
+                Tok::Minus,
+                Tok::Int(3)
+            ]
         );
         assert!(lex("\"oops").is_err());
     }

@@ -1,144 +1,246 @@
-//! Property-based tests for the rule language: printed forms of
-//! generated ASTs re-parse to the same AST (display/parse round trip),
-//! and the lexer never panics on arbitrary input.
+//! Randomized tests for the rule language: printed forms of generated
+//! ASTs re-parse to the same AST (display/parse round trip), and the
+//! parsers never panic on arbitrary input.
+//!
+//! Formerly proptest-based; now driven by a local SplitMix64 generator
+//! so the suite needs no external crates and stays deterministic.
 
 use hcm_core::{ItemPattern, SimDuration, TemplateDesc, Term, Value};
 use hcm_rulelang::{
-    parse_interface, parse_strategy_rule, Cond, CmpOp, Expr, InterfaceStmt, RhsStep, StrategyRule,
+    parse_interface, parse_strategy_rule, CmpOp, Cond, Expr, InterfaceStmt, RhsStep, StrategyRule,
 };
-use proptest::prelude::*;
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    // Lower-case start: rule variables / parameterized item bases.
-    "[a-z][a-z0-9]{0,6}".prop_map(|s| s)
-}
+/// Minimal deterministic generator (SplitMix64).
+struct Gen(u64);
 
-fn arb_item_base() -> impl Strategy<Value = String> {
-    "[A-Z][a-z0-9]{0,6}".prop_map(|s| s)
-}
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next() % span) as i64
+    }
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.int_in(lo as i64, hi as i64) as usize
+    }
 
-fn arb_const() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (-10_000i64..10_000).prop_map(Value::Int),
-        "[a-z]{1,6}".prop_map(Value::from),
-        Just(Value::Bool(true)),
-        Just(Value::Null),
-    ]
-}
+    /// Lower-case start identifier: rule variables / parameterized item
+    /// bases. `[a-z][a-z0-9]{0,6}`.
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        s.push((b'a' + (self.next() % 26) as u8) as char);
+        for _ in 0..self.usize_in(0, 6) {
+            let c = self.next() % 36;
+            s.push(if c < 26 {
+                (b'a' + c as u8) as char
+            } else {
+                (b'0' + (c - 26) as u8) as char
+            });
+        }
+        s
+    }
 
-fn arb_term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        arb_ident().prop_map(Term::Var),
-        arb_const().prop_map(Term::Const),
-        Just(Term::Wild),
-    ]
-}
+    /// Item base: `[A-Z][a-z0-9]{0,6}`.
+    fn item_base(&mut self) -> String {
+        let mut s = String::new();
+        s.push((b'A' + (self.next() % 26) as u8) as char);
+        for _ in 0..self.usize_in(0, 6) {
+            let c = self.next() % 36;
+            s.push(if c < 26 {
+                (b'a' + c as u8) as char
+            } else {
+                (b'0' + (c - 26) as u8) as char
+            });
+        }
+        s
+    }
 
-fn arb_item_pattern() -> impl Strategy<Value = ItemPattern> {
-    (arb_item_base(), prop::collection::vec(arb_term(), 0..3))
-        .prop_map(|(base, params)| ItemPattern { base, params })
-}
+    fn lc_string(&mut self, lo: usize, hi: usize) -> String {
+        let n = self.usize_in(lo, hi);
+        (0..n)
+            .map(|_| (b'a' + (self.next() % 26) as u8) as char)
+            .collect()
+    }
 
-fn arb_duration() -> impl Strategy<Value = SimDuration> {
-    (1u64..100_000).prop_map(SimDuration::from_millis)
-}
+    fn constant(&mut self) -> Value {
+        match self.next() % 4 {
+            0 => Value::Int(self.int_in(-10_000, 9_999)),
+            1 => Value::from(self.lc_string(1, 6)),
+            2 => Value::Bool(true),
+            _ => Value::Null,
+        }
+    }
 
-fn arb_template() -> impl Strategy<Value = TemplateDesc> {
-    prop_oneof![
-        (arb_item_pattern(), arb_term()).prop_map(|(item, value)| TemplateDesc::N { item, value }),
-        (arb_item_pattern(), arb_term())
-            .prop_map(|(item, value)| TemplateDesc::Wr { item, value }),
-        (arb_item_pattern(), arb_term()).prop_map(|(item, value)| TemplateDesc::W { item, value }),
-        arb_item_pattern().prop_map(|item| TemplateDesc::Rr { item }),
-        (arb_item_pattern(), proptest::option::of(arb_term()), arb_term())
-            .prop_map(|(item, old, new)| TemplateDesc::Ws { item, old, new }),
-        (1i64..1_000_000).prop_map(|ms| TemplateDesc::P {
-            period: Term::Const(Value::Int(ms))
-        }),
-    ]
-}
+    fn term(&mut self) -> Term {
+        match self.next() % 3 {
+            0 => Term::Var(self.ident()),
+            1 => Term::Const(self.constant()),
+            _ => Term::Wild,
+        }
+    }
 
-fn arb_cmp() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
-}
+    fn item_pattern(&mut self) -> ItemPattern {
+        let base = self.item_base();
+        let params = (0..self.usize_in(0, 2)).map(|_| self.term()).collect();
+        ItemPattern { base, params }
+    }
 
-fn arb_simple_cond() -> impl Strategy<Value = Cond> {
-    // A conjunction of comparisons between items/vars/ints — the shape
-    // real interface conditions take.
-    let operand = prop_oneof![
-        arb_item_pattern().prop_map(Expr::Item),
-        arb_ident().prop_map(Expr::Var),
-        (-10_000i64..10_000).prop_map(|i| Expr::Lit(Value::Int(i))),
-    ];
-    prop::collection::vec((operand.clone(), arb_cmp(), operand), 1..3).prop_map(|cmps| {
-        cmps.into_iter()
-            .map(|(a, op, b)| Cond::Cmp(a, op, b))
+    fn duration(&mut self) -> SimDuration {
+        SimDuration::from_millis(self.int_in(1, 99_999) as u64)
+    }
+
+    fn template(&mut self) -> TemplateDesc {
+        match self.next() % 6 {
+            0 => TemplateDesc::N {
+                item: self.item_pattern(),
+                value: self.term(),
+            },
+            1 => TemplateDesc::Wr {
+                item: self.item_pattern(),
+                value: self.term(),
+            },
+            2 => TemplateDesc::W {
+                item: self.item_pattern(),
+                value: self.term(),
+            },
+            3 => TemplateDesc::Rr {
+                item: self.item_pattern(),
+            },
+            4 => {
+                let old = if self.next().is_multiple_of(2) {
+                    Some(self.term())
+                } else {
+                    None
+                };
+                TemplateDesc::Ws {
+                    item: self.item_pattern(),
+                    old,
+                    new: self.term(),
+                }
+            }
+            _ => TemplateDesc::P {
+                period: Term::Const(Value::Int(self.int_in(1, 999_999))),
+            },
+        }
+    }
+
+    fn cmp(&mut self) -> CmpOp {
+        match self.next() % 6 {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            _ => CmpOp::Ge,
+        }
+    }
+
+    fn operand(&mut self) -> Expr {
+        match self.next() % 3 {
+            0 => Expr::Item(self.item_pattern()),
+            1 => Expr::Var(self.ident()),
+            _ => Expr::Lit(Value::Int(self.int_in(-10_000, 9_999))),
+        }
+    }
+
+    /// A conjunction of comparisons between items/vars/ints — the shape
+    /// real interface conditions take.
+    fn simple_cond(&mut self) -> Cond {
+        (0..self.usize_in(1, 2))
+            .map(|_| {
+                let a = self.operand();
+                let op = self.cmp();
+                let b = self.operand();
+                Cond::Cmp(a, op, b)
+            })
             .reduce(|acc, c| Cond::And(Box::new(acc), Box::new(c)))
             .expect("non-empty")
-    })
+    }
+
+    fn maybe_cond(&mut self) -> Cond {
+        if self.next().is_multiple_of(2) {
+            self.simple_cond()
+        } else {
+            Cond::True
+        }
+    }
+
+    /// Arbitrary printable-ish garbage (ASCII plus some multibyte).
+    fn garbage(&mut self, max_len: usize) -> String {
+        let n = self.usize_in(0, max_len);
+        (0..n)
+            .map(|_| match self.next() % 8 {
+                0..=5 => char::from_u32(0x20 + (self.next() % 0x5f) as u32).unwrap(),
+                6 => char::from_u32(0xA1 + (self.next() % 0x100) as u32).unwrap_or('¿'),
+                _ => ['→', 'δ', 'κ', '∧', '∨', '…'][(self.next() % 6) as usize],
+            })
+            .collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Display → parse is the identity on interface statements.
-    #[test]
-    fn interface_roundtrip(
-        lhs in arb_template(),
-        cond in proptest::option::of(arb_simple_cond()),
-        rhs in arb_template(),
-        bound in arb_duration(),
-    ) {
+/// Display → parse is the identity on interface statements.
+#[test]
+fn interface_roundtrip() {
+    let mut g = Gen::new(0x51DE_0001);
+    for case in 0..500 {
         let stmt = InterfaceStmt {
-            lhs,
-            cond: cond.unwrap_or(Cond::True),
-            rhs,
-            bound,
+            lhs: g.template(),
+            cond: g.maybe_cond(),
+            rhs: g.template(),
+            bound: g.duration(),
         };
         let printed = stmt.to_string();
         let reparsed = parse_interface(&printed)
-            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
-        prop_assert_eq!(stmt, reparsed, "round trip through `{}`", printed);
+            .unwrap_or_else(|e| panic!("case {case}: reparse of `{printed}` failed: {e}"));
+        assert_eq!(
+            stmt, reparsed,
+            "case {case}: round trip through `{printed}`"
+        );
     }
+}
 
-    /// Display → parse is the identity on strategy rules with sequenced
-    /// right-hand sides.
-    #[test]
-    fn strategy_roundtrip(
-        lhs in arb_template(),
-        cond in proptest::option::of(arb_simple_cond()),
-        steps in prop::collection::vec(
-            (proptest::option::of(arb_simple_cond()), arb_template()),
-            1..4
-        ),
-        bound in arb_duration(),
-    ) {
+/// Display → parse is the identity on strategy rules with sequenced
+/// right-hand sides.
+#[test]
+fn strategy_roundtrip() {
+    let mut g = Gen::new(0x51DE_0002);
+    for case in 0..500 {
         let rule = StrategyRule {
-            lhs,
-            cond: cond.unwrap_or(Cond::True),
-            steps: steps
-                .into_iter()
-                .map(|(c, event)| RhsStep { cond: c.unwrap_or(Cond::True), event })
+            lhs: g.template(),
+            cond: g.maybe_cond(),
+            steps: (0..g.usize_in(1, 3))
+                .map(|_| RhsStep {
+                    cond: g.maybe_cond(),
+                    event: g.template(),
+                })
                 .collect(),
-            bound,
+            bound: g.duration(),
         };
         let printed = rule.to_string();
         let reparsed = parse_strategy_rule(&printed)
-            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
-        prop_assert_eq!(rule, reparsed, "round trip through `{}`", printed);
+            .unwrap_or_else(|e| panic!("case {case}: reparse of `{printed}` failed: {e}"));
+        assert_eq!(
+            rule, reparsed,
+            "case {case}: round trip through `{printed}`"
+        );
     }
+}
 
-    /// The lexer and parsers never panic on arbitrary input (errors are
-    /// returned, not thrown).
-    #[test]
-    fn parser_total_on_garbage(src in "\\PC{0,60}") {
+/// The lexer and parsers never panic on arbitrary input (errors are
+/// returned, not thrown).
+#[test]
+fn parser_total_on_garbage() {
+    let mut g = Gen::new(0x51DE_0003);
+    for _ in 0..1000 {
+        let src = g.garbage(60);
         let _ = parse_interface(&src);
         let _ = parse_strategy_rule(&src);
         let _ = hcm_rulelang::parse_cond(&src);

@@ -28,6 +28,7 @@ pub mod rng;
 pub mod sim;
 
 pub use actor::{Actor, ActorId, Ctx};
-pub use net::{ActorStatus, DelayModel, Network};
+pub use hcm_obs::{Obs, Scope};
+pub use net::{ActorStatus, DelayModel, Network, SendKind};
 pub use rng::SimRng;
 pub use sim::{RunOutcome, Sim};

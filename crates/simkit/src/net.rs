@@ -44,7 +44,10 @@ impl DelayModel {
     /// A fixed-latency model with no jitter.
     #[must_use]
     pub const fn fixed(d: SimDuration) -> Self {
-        DelayModel { base: d, jitter: SimDuration::ZERO }
+        DelayModel {
+            base: d,
+            jitter: SimDuration::ZERO,
+        }
     }
 
     /// Sample a one-way delay.
@@ -61,7 +64,10 @@ impl Default for DelayModel {
     /// 20 ms ± 10 ms — a campus network, in the spirit of the paper's
     /// Stanford deployment.
     fn default() -> Self {
-        DelayModel { base: SimDuration::from_millis(20), jitter: SimDuration::from_millis(10) }
+        DelayModel {
+            base: SimDuration::from_millis(20),
+            jitter: SimDuration::from_millis(10),
+        }
     }
 }
 
@@ -122,7 +128,10 @@ impl Network {
     /// A network with the given delay model and FIFO channels.
     #[must_use]
     pub fn new(default_delay: DelayModel) -> Self {
-        Network { default_delay, ..Default::default() }
+        Network {
+            default_delay,
+            ..Default::default()
+        }
     }
 
     /// Disable per-channel in-order delivery — messages race freely.
@@ -164,7 +173,10 @@ impl Network {
     ) -> SimTime {
         let base = match kind {
             SendKind::Network => {
-                let model = self.per_channel.get(&(from, to)).unwrap_or(&self.default_delay);
+                let model = self
+                    .per_channel
+                    .get(&(from, to))
+                    .unwrap_or(&self.default_delay);
                 model.sample(rng)
             }
             SendKind::Local(d) | SendKind::Timer(d) => d,
@@ -259,7 +271,12 @@ mod tests {
     #[test]
     fn overload_adds_delay_but_not_to_timers() {
         let mut net = Network::new(DelayModel::fixed(SimDuration::from_millis(10)));
-        net.set_status(a(1), ActorStatus::Overloaded { extra: SimDuration::from_secs(5) });
+        net.set_status(
+            a(1),
+            ActorStatus::Overloaded {
+                extra: SimDuration::from_secs(5),
+            },
+        );
         let mut rng = SimRng::seeded(4);
         let at = net.delivery_time(SimTime::ZERO, a(0), a(1), SendKind::Network, &mut rng);
         assert_eq!(at, SimTime::from_millis(5010));

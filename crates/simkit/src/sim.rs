@@ -15,6 +15,7 @@ use crate::actor::{Actor, ActorId, Ctx};
 use crate::net::{ActorStatus, DelayModel, Network, SendKind};
 use crate::rng::SimRng;
 use hcm_core::{SimDuration, SimTime};
+use hcm_obs::{Obs, Scope};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -79,6 +80,7 @@ pub struct Sim<M> {
     seq: u64,
     rng: SimRng,
     net: Network,
+    obs: Obs,
     started: bool,
     steps: u64,
     max_steps: u64,
@@ -102,6 +104,7 @@ impl<M> Sim<M> {
             seq: 0,
             rng: SimRng::seeded(seed),
             net,
+            obs: Obs::new(),
             started: false,
             steps: 0,
             max_steps: u64::MAX,
@@ -142,6 +145,13 @@ impl<M> Sim<M> {
     #[must_use]
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// A clone of the simulation's observability bundle — the metrics
+    /// registry and span log every instrumented component writes to.
+    #[must_use]
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
     }
 
     /// Direct access to a registered actor (used by scenario drivers to
@@ -193,7 +203,13 @@ impl<M> Sim<M> {
 
     /// Schedule an overload window `[from, to)` during which every
     /// delivery to `who` takes `extra` additional time.
-    pub fn overload_between(&mut self, who: ActorId, from: SimTime, to: SimTime, extra: SimDuration) {
+    pub fn overload_between(
+        &mut self,
+        who: ActorId,
+        from: SimTime,
+        to: SimTime,
+        extra: SimDuration,
+    ) {
         let seq = self.bump_seq();
         self.queue.push(Reverse(Scheduled {
             at: from,
@@ -216,9 +232,25 @@ impl<M> Sim<M> {
 
     fn flush_outbox(&mut self, from: ActorId, outbox: Vec<(ActorId, M, SendKind)>) {
         for (to, msg, kind) in outbox {
-            let at = self.net.delivery_time(self.now, from, to, kind, &mut self.rng);
+            let at = self
+                .net
+                .delivery_time(self.now, from, to, kind, &mut self.rng);
+            if matches!(kind, SendKind::Network) {
+                self.obs.metrics.observe(
+                    Scope::Channel {
+                        from: from.0,
+                        to: to.0,
+                    },
+                    "net.delivery_latency",
+                    at.saturating_since(self.now),
+                );
+            }
             let seq = self.bump_seq();
-            self.queue.push(Reverse(Scheduled { at, seq, entry: Entry::Deliver { to, from, msg } }));
+            self.queue.push(Reverse(Scheduled {
+                at,
+                seq,
+                entry: Entry::Deliver { to, from, msg },
+            }));
         }
     }
 
@@ -263,19 +295,32 @@ impl<M> Sim<M> {
             if self.steps >= self.max_steps {
                 return RunOutcome::StepBudget;
             }
+            self.obs.metrics.gauge_track_max(
+                Scope::Global,
+                "sim.queue_depth_max",
+                self.queue.len() as i64,
+            );
             let Reverse(sched) = self.queue.pop().expect("peeked");
             self.now = sched.at;
             match sched.entry {
                 Entry::Control(c) => self.apply_control(c),
                 Entry::Deliver { to, from, msg } => {
                     self.steps += 1;
+                    self.obs.metrics.inc(Scope::Global, "sim.dispatches");
+                    self.obs.metrics.inc(Scope::Actor(to.0), "sim.dispatches");
                     match self.net.status(to) {
                         ActorStatus::Crashed { lossy: true } => {
                             self.net.count_drop();
+                            self.obs
+                                .metrics
+                                .inc(Scope::Actor(to.0), "sim.dropped_while_crashed");
                         }
                         ActorStatus::Crashed { lossy: false } => {
                             let seq = self.bump_seq();
                             self.held.push((to, from, msg, seq));
+                            self.obs
+                                .metrics
+                                .inc(Scope::Actor(to.0), "sim.held_while_crashed");
                         }
                         _ => {
                             let mut outbox = Vec::new();
@@ -310,15 +355,28 @@ impl<M> Sim<M> {
         match c {
             Control::Crash { who, lossy } => {
                 self.net.set_status(who, ActorStatus::Crashed { lossy });
+                self.obs.metrics.record(
+                    self.now,
+                    Scope::Actor(who.0),
+                    "sim.crash",
+                    [("lossy", lossy.to_string())],
+                );
             }
             Control::Recover { who } => {
                 self.net.set_status(who, ActorStatus::Up);
+                self.obs.metrics.record(
+                    self.now,
+                    Scope::Actor(who.0),
+                    "sim.recover",
+                    std::iter::empty::<(&str, String)>(),
+                );
                 // Replay messages held during the outage, at recovery
                 // time, preserving their original arrival order (the
                 // held `seq` predates any new sends, so they sort first
                 // among same-time entries).
-                let (replay, keep): (Vec<_>, Vec<_>) =
-                    std::mem::take(&mut self.held).into_iter().partition(|(to, ..)| *to == who);
+                let (replay, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.held)
+                    .into_iter()
+                    .partition(|(to, ..)| *to == who);
                 self.held = keep;
                 for (to, from, msg, seq) in replay {
                     self.queue.push(Reverse(Scheduled {
@@ -330,9 +388,21 @@ impl<M> Sim<M> {
             }
             Control::Overload { who, extra } => {
                 self.net.set_status(who, ActorStatus::Overloaded { extra });
+                self.obs.metrics.record(
+                    self.now,
+                    Scope::Actor(who.0),
+                    "sim.overload",
+                    [("extra_ms", extra.as_millis().to_string())],
+                );
             }
             Control::EndOverload { who } => {
                 self.net.set_status(who, ActorStatus::Up);
+                self.obs.metrics.record(
+                    self.now,
+                    Scope::Actor(who.0),
+                    "sim.end_overload",
+                    std::iter::empty::<(&str, String)>(),
+                );
             }
         }
     }
@@ -381,21 +451,32 @@ mod tests {
     }
 
     fn fixed_sim(ms: u64) -> Sim<Msg> {
-        Sim::with_network(7, Network::new(DelayModel::fixed(SimDuration::from_millis(ms))))
+        Sim::with_network(
+            7,
+            Network::new(DelayModel::fixed(SimDuration::from_millis(ms))),
+        )
     }
 
     #[test]
     fn ping_pong_runs_to_quiescence() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = fixed_sim(100);
-        let a = sim.add_actor(Box::new(Echo { peer: None, log: log.clone(), ticks: 0 }));
-        let b = sim.add_actor(Box::new(Echo { peer: Some(a), log: log.clone(), ticks: 0 }));
+        let a = sim.add_actor(Box::new(Echo {
+            peer: None,
+            log: log.clone(),
+            ticks: 0,
+        }));
+        let b = sim.add_actor(Box::new(Echo {
+            peer: Some(a),
+            log: log.clone(),
+            ticks: 0,
+        }));
         // Make a's peer b after registration? peers fixed at build; wire a -> b.
         // a has no peer so it just logs the final ping.
         sim.inject_at(SimTime::ZERO, b, Msg::Ping(3));
         assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
         let log = log.borrow();
-        // b received Ping(3) at t=0, a received Ping(2) at 100ms, b Ping(1) at 200ms... 
+        // b received Ping(3) at t=0, a received Ping(2) at 100ms, b Ping(1) at 200ms...
         // but a has peer None: chain stops after a logs Ping(2).
         assert_eq!(log.len(), 2);
         assert_eq!(log[0], (SimTime::ZERO, Msg::Ping(3)));
@@ -406,7 +487,11 @@ mod tests {
     fn timers_and_horizon() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = fixed_sim(10);
-        let a = sim.add_actor(Box::new(Echo { peer: None, log: log.clone(), ticks: 0 }));
+        let a = sim.add_actor(Box::new(Echo {
+            peer: None,
+            log: log.clone(),
+            ticks: 0,
+        }));
         sim.inject_at(SimTime::ZERO, a, Msg::Tick);
         let out = sim.run(Some(SimTime::from_millis(1500)));
         // Tick at 0 and 1000 executed; 2000 beyond horizon.
@@ -423,7 +508,11 @@ mod tests {
     fn halt_stops_immediately() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = fixed_sim(10);
-        let a = sim.add_actor(Box::new(Echo { peer: None, log: log.clone(), ticks: 0 }));
+        let a = sim.add_actor(Box::new(Echo {
+            peer: None,
+            log: log.clone(),
+            ticks: 0,
+        }));
         sim.inject_at(SimTime::from_secs(1), a, Msg::Stop);
         sim.inject_at(SimTime::from_secs(2), a, Msg::Ping(0));
         assert_eq!(sim.run_to_quiescence(), RunOutcome::Halted);
@@ -434,7 +523,11 @@ mod tests {
     fn crash_holds_messages_until_recovery() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = fixed_sim(0);
-        let a = sim.add_actor(Box::new(Echo { peer: None, log: log.clone(), ticks: 0 }));
+        let a = sim.add_actor(Box::new(Echo {
+            peer: None,
+            log: log.clone(),
+            ticks: 0,
+        }));
         sim.crash_at(a, SimTime::from_secs(1), false);
         sim.inject_at(SimTime::from_secs(2), a, Msg::Ping(0));
         sim.inject_at(SimTime::from_secs(3), a, Msg::Tick);
@@ -450,7 +543,11 @@ mod tests {
     fn lossy_crash_drops_messages() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = fixed_sim(0);
-        let a = sim.add_actor(Box::new(Echo { peer: None, log: log.clone(), ticks: 0 }));
+        let a = sim.add_actor(Box::new(Echo {
+            peer: None,
+            log: log.clone(),
+            ticks: 0,
+        }));
         sim.crash_at(a, SimTime::from_secs(1), true);
         sim.inject_at(SimTime::from_secs(2), a, Msg::Ping(0));
         sim.recover_at(a, SimTime::from_secs(10));
@@ -464,8 +561,16 @@ mod tests {
     fn overload_window_delays_deliveries() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = fixed_sim(0);
-        let a = sim.add_actor(Box::new(Echo { peer: None, log: log.clone(), ticks: 0 }));
-        let b = sim.add_actor(Box::new(Echo { peer: Some(a), log: log.clone(), ticks: 0 }));
+        let a = sim.add_actor(Box::new(Echo {
+            peer: None,
+            log: log.clone(),
+            ticks: 0,
+        }));
+        let b = sim.add_actor(Box::new(Echo {
+            peer: Some(a),
+            log: log.clone(),
+            ticks: 0,
+        }));
         sim.overload_between(
             a,
             SimTime::from_secs(1),
@@ -510,7 +615,9 @@ mod tests {
         }
         let fired = Rc::new(RefCell::new(0));
         let mut sim: Sim<Msg> = fixed_sim(0);
-        sim.add_actor(Box::new(Starter { fired: fired.clone() }));
+        sim.add_actor(Box::new(Starter {
+            fired: fired.clone(),
+        }));
         sim.run_to_quiescence();
         sim.run_to_quiescence();
         assert_eq!(*fired.borrow(), 1);
@@ -528,8 +635,16 @@ mod tests {
                     jitter: SimDuration::from_millis(50),
                 }),
             );
-            let a = sim.add_actor(Box::new(Echo { peer: None, log: log.clone(), ticks: 0 }));
-            let b = sim.add_actor(Box::new(Echo { peer: Some(a), log: log.clone(), ticks: 0 }));
+            let a = sim.add_actor(Box::new(Echo {
+                peer: None,
+                log: log.clone(),
+                ticks: 0,
+            }));
+            let b = sim.add_actor(Box::new(Echo {
+                peer: Some(a),
+                log: log.clone(),
+                ticks: 0,
+            }));
             for i in 0..10 {
                 sim.inject_at(SimTime::from_millis(i * 7), b, Msg::Ping(2));
             }

@@ -52,8 +52,12 @@ pub trait RisBackend {
     /// Perform a CM-requested write; returns the old value when the
     /// native interface exposes it. `Err(ConstraintViolation)` when a
     /// local constraint rejects the write (demarcation relies on this).
-    fn write(&mut self, item: &ItemId, value: &Value, now: SimTime)
-        -> Result<Option<Value>, RisError>;
+    fn write(
+        &mut self,
+        item: &ItemId,
+        value: &Value,
+        now: SimTime,
+    ) -> Result<Option<Value>, RisError>;
 
     /// Read the current value of an item (`Null` when absent).
     fn read(&self, item: &ItemId) -> Result<Value, RisError>;
@@ -110,9 +114,11 @@ impl KeyPattern {
                 suffix: suf.to_owned(),
                 has_param: true,
             },
-            None => {
-                KeyPattern { prefix: pattern.to_owned(), suffix: String::new(), has_param: false }
-            }
+            None => KeyPattern {
+                prefix: pattern.to_owned(),
+                suffix: String::new(),
+                has_param: false,
+            },
         }
     }
 

@@ -23,14 +23,19 @@ impl BiblioBackend {
     /// Wrap a store per the CM-RID.
     #[must_use]
     pub fn new(db: BiblioDb, rid: &CmRid) -> Self {
-        BiblioBackend { db, bases: rid.maps.keys().cloned().collect() }
+        BiblioBackend {
+            db,
+            bases: rid.maps.keys().cloned().collect(),
+        }
     }
 
     fn check_base(&self, base: &str) -> Result<(), RisError> {
         if self.bases.iter().any(|b| b == base) {
             Ok(())
         } else {
-            Err(RisError::Unsupported(format!("no biblio mapping for `{base}`")))
+            Err(RisError::Unsupported(format!(
+                "no biblio mapping for `{base}`"
+            )))
         }
     }
 
@@ -40,7 +45,10 @@ impl BiblioBackend {
                 "biblio items take (author, title): `{item}`"
             )));
         }
-        Ok((value_to_text(&item.params[0]), value_to_text(&item.params[1])))
+        Ok((
+            value_to_text(&item.params[0]),
+            value_to_text(&item.params[1]),
+        ))
     }
 }
 
@@ -60,7 +68,11 @@ impl RisBackend for BiblioBackend {
     ) -> Result<Vec<Change>, RisError> {
         let mut out = Vec::new();
         match op {
-            SpontaneousOp::BiblioAppend { author, title, year } => {
+            SpontaneousOp::BiblioAppend {
+                author,
+                title,
+                year,
+            } => {
                 self.db.append(author, title, *year);
                 for base in &self.bases {
                     out.push(Change {
@@ -108,7 +120,10 @@ impl RisBackend for BiblioBackend {
         for rec in self.db.since(None) {
             let item = ItemId::with(
                 pattern.base.clone(),
-                [Value::from(rec.author.as_str()), Value::from(rec.title.as_str())],
+                [
+                    Value::from(rec.author.as_str()),
+                    Value::from(rec.title.as_str()),
+                ],
             );
             let mut b = Bindings::new();
             if pattern.match_item(&item, &mut b) {
@@ -135,7 +150,10 @@ mod tests {
     #[test]
     fn read_existing_and_absent() {
         let b = setup();
-        let item = ItemId::with("paper", [Value::from("widom"), Value::from("Active Databases")]);
+        let item = ItemId::with(
+            "paper",
+            [Value::from("widom"), Value::from("Active Databases")],
+        );
         assert_eq!(b.read(&item).unwrap(), Value::Int(1994));
         let missing = ItemId::with("paper", [Value::from("widom"), Value::from("Nope")]);
         assert_eq!(b.read(&missing).unwrap(), Value::Null);
@@ -147,7 +165,9 @@ mod tests {
         let item = ItemId::with("paper", [Value::from("a"), Value::from("t")]);
         assert!(b.write(&item, &Value::Int(1), SimTime::ZERO).is_err());
         assert!(b.read(&ItemId::plain("paper")).is_err());
-        assert!(b.read(&ItemId::with("zz", [Value::from("a"), Value::from("t")])).is_err());
+        assert!(b
+            .read(&ItemId::with("zz", [Value::from("a"), Value::from("t")]))
+            .is_err());
     }
 
     #[test]
@@ -162,8 +182,10 @@ mod tests {
             SimTime::ZERO,
         )
         .unwrap();
-        let item =
-            ItemId::with("paper", [Value::from("chawathe"), Value::from("Constraints")]);
+        let item = ItemId::with(
+            "paper",
+            [Value::from("chawathe"), Value::from("Constraints")],
+        );
         assert_eq!(b.read(&item).unwrap(), Value::Int(1996));
     }
 
@@ -172,10 +194,8 @@ mod tests {
         let b = setup();
         let all = ItemPattern::with("paper", [Term::var("a"), Term::var("t")]);
         assert_eq!(b.enumerate(&all).len(), 2);
-        let widom_only = ItemPattern::with(
-            "paper",
-            [Term::Const(Value::from("widom")), Term::var("t")],
-        );
+        let widom_only =
+            ItemPattern::with("paper", [Term::Const(Value::from("widom")), Term::var("t")]);
         assert_eq!(b.enumerate(&widom_only).len(), 1);
     }
 }

@@ -116,8 +116,12 @@ mod tests {
     fn write_sends_mail() {
         let mut b = setup();
         let item = ItemId::with("mail", [Value::from("ann")]);
-        b.write(&item, &Value::from("your project record was removed"), SimTime::from_secs(9))
-            .unwrap();
+        b.write(
+            &item,
+            &Value::from("your project record was removed"),
+            SimTime::from_secs(9),
+        )
+        .unwrap();
         let inbox = b.mailboxes().inbox("ann");
         assert_eq!(inbox.len(), 1);
         assert_eq!(inbox[0].subject, "record deleted");
@@ -140,6 +144,8 @@ mod tests {
     #[test]
     fn unmapped_base_rejected() {
         let mut b = setup();
-        assert!(b.write(&ItemId::plain("zz"), &Value::from("x"), SimTime::ZERO).is_err());
+        assert!(b
+            .write(&ItemId::plain("zz"), &Value::from("x"), SimTime::ZERO)
+            .is_err());
     }
 }

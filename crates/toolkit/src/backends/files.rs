@@ -78,7 +78,11 @@ impl RisBackend for FileBackend {
                 changed_path = path.clone();
                 for m in &self.maps {
                     if m.path.extract(path).is_some() {
-                        old = self.fs.read(path).ok().map(|t| text_to_value(t, m.ty.as_deref()));
+                        old = self
+                            .fs
+                            .read(path)
+                            .ok()
+                            .map(|t| text_to_value(t, m.ty.as_deref()));
                     }
                 }
             }
@@ -103,7 +107,11 @@ impl RisBackend for FileBackend {
                     }
                     _ => Value::Null,
                 };
-                out.push(Change { item, old: Some(old.clone().unwrap_or(Value::Null)), new });
+                out.push(Change {
+                    item,
+                    old: Some(old.clone().unwrap_or(Value::Null)),
+                    new,
+                });
             }
         }
         Ok(out)
@@ -142,7 +150,9 @@ impl RisBackend for FileBackend {
     }
 
     fn enumerate(&self, pattern: &ItemPattern) -> Vec<ItemId> {
-        let Ok(m) = self.map_for(&pattern.base) else { return Vec::new() };
+        let Ok(m) = self.map_for(&pattern.base) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for path in self.fs.list() {
             if let Some(param) = m.path.extract(path) {
@@ -165,10 +175,8 @@ mod tests {
     fn setup() -> FileBackend {
         let mut fs = FileStore::new();
         fs.write("/phones/ann.txt", "5550100", SimTime::ZERO);
-        let rid = CmRid::parse(
-            "ris = file\n[map phone]\npath = /phones/$p0.txt\ntype = int\n",
-        )
-        .unwrap();
+        let rid =
+            CmRid::parse("ris = file\n[map phone]\npath = /phones/$p0.txt\ntype = int\n").unwrap();
         FileBackend::new(fs, &rid)
     }
 
@@ -182,7 +190,10 @@ mod tests {
         assert!(!b.has_change_feed(), "file store has no native feed");
         let ch = b
             .apply_spontaneous(
-                &SpontaneousOp::FileWrite { path: "/phones/ann.txt".into(), contents: "1".into() },
+                &SpontaneousOp::FileWrite {
+                    path: "/phones/ann.txt".into(),
+                    contents: "1".into(),
+                },
                 SimTime::from_secs(1),
             )
             .unwrap();
@@ -195,7 +206,10 @@ mod tests {
         // Unmapped paths produce nothing.
         let none = b
             .apply_spontaneous(
-                &SpontaneousOp::FileWrite { path: "/other.txt".into(), contents: "x".into() },
+                &SpontaneousOp::FileWrite {
+                    path: "/other.txt".into(),
+                    contents: "x".into(),
+                },
                 SimTime::from_secs(2),
             )
             .unwrap();
@@ -207,7 +221,8 @@ mod tests {
         let b = setup();
         assert_eq!(b.read(&ann()).unwrap(), Value::Int(5_550_100));
         assert_eq!(
-            b.read(&ItemId::with("phone", [Value::from("bob")])).unwrap(),
+            b.read(&ItemId::with("phone", [Value::from("bob")]))
+                .unwrap(),
             Value::Null
         );
     }
@@ -215,18 +230,25 @@ mod tests {
     #[test]
     fn cm_write_and_delete() {
         let mut b = setup();
-        let old = b.write(&ann(), &Value::Int(42), SimTime::from_secs(2)).unwrap();
+        let old = b
+            .write(&ann(), &Value::Int(42), SimTime::from_secs(2))
+            .unwrap();
         assert_eq!(old, Some(Value::Int(5_550_100)));
         assert_eq!(b.read(&ann()).unwrap(), Value::Int(42));
-        b.write(&ann(), &Value::Null, SimTime::from_secs(3)).unwrap();
+        b.write(&ann(), &Value::Null, SimTime::from_secs(3))
+            .unwrap();
         assert_eq!(b.read(&ann()).unwrap(), Value::Null);
     }
 
     #[test]
     fn enumerate_and_unmapped() {
         let mut b = setup();
-        b.write(&ItemId::with("phone", [Value::from("bob")]), &Value::Int(7), SimTime::ZERO)
-            .unwrap();
+        b.write(
+            &ItemId::with("phone", [Value::from("bob")]),
+            &Value::Int(7),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let pat = ItemPattern::with("phone", [Term::var("n")]);
         assert_eq!(b.enumerate(&pat).len(), 2);
         assert!(b.read(&ItemId::plain("zz")).is_err());
@@ -237,7 +259,9 @@ mod tests {
     fn file_remove_spontaneous() {
         let mut b = setup();
         b.apply_spontaneous(
-            &SpontaneousOp::FileRemove { path: "/phones/ann.txt".into() },
+            &SpontaneousOp::FileRemove {
+                path: "/phones/ann.txt".into(),
+            },
             SimTime::ZERO,
         )
         .unwrap();

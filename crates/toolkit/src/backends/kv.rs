@@ -29,8 +29,13 @@ impl KvBackend {
         let mut kv = kv;
         let mut maps = Vec::new();
         for (base, props) in &rid.maps {
-            let Some(key) = props.get("key") else { continue };
-            maps.push(KvMap { base: base.clone(), key: KeyPattern::parse(key) });
+            let Some(key) = props.get("key") else {
+                continue;
+            };
+            maps.push(KvMap {
+                base: base.clone(),
+                key: KeyPattern::parse(key),
+            });
         }
         // One catch-all watch; drain-time filtering maps events back to
         // items (pattern suffixes are not expressible as native prefix
@@ -121,7 +126,9 @@ impl RisBackend for KvBackend {
     }
 
     fn enumerate(&self, pattern: &ItemPattern) -> Vec<ItemId> {
-        let Ok(m) = self.map_for(&pattern.base) else { return Vec::new() };
+        let Ok(m) = self.map_for(&pattern.base) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for key in self.kv.keys() {
             if let Some(param) = m.key.extract(key) {
@@ -161,7 +168,10 @@ mod tests {
         let mut b = setup();
         let ch = b
             .apply_spontaneous(
-                &SpontaneousOp::KvPut { key: "phone/ann".into(), value: Value::from("555-0200") },
+                &SpontaneousOp::KvPut {
+                    key: "phone/ann".into(),
+                    value: Value::from("555-0200"),
+                },
                 SimTime::ZERO,
             )
             .unwrap();
@@ -176,7 +186,10 @@ mod tests {
         let mut b = setup();
         let ch = b
             .apply_spontaneous(
-                &SpontaneousOp::KvPut { key: "office/ann".into(), value: Value::from("b1") },
+                &SpontaneousOp::KvPut {
+                    key: "office/ann".into(),
+                    value: Value::from("b1"),
+                },
                 SimTime::ZERO,
             )
             .unwrap();
@@ -187,7 +200,12 @@ mod tests {
     fn delete_is_null_change() {
         let mut b = setup();
         let ch = b
-            .apply_spontaneous(&SpontaneousOp::KvDelete { key: "phone/ann".into() }, SimTime::ZERO)
+            .apply_spontaneous(
+                &SpontaneousOp::KvDelete {
+                    key: "phone/ann".into(),
+                },
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(ch[0].new, Value::Null);
     }
@@ -201,7 +219,10 @@ mod tests {
         // CM write produced no spontaneous change.
         let ch = b
             .apply_spontaneous(
-                &SpontaneousOp::KvPut { key: "unrelated".into(), value: Value::Int(1) },
+                &SpontaneousOp::KvPut {
+                    key: "unrelated".into(),
+                    value: Value::Int(1),
+                },
                 SimTime::ZERO,
             )
             .unwrap();
@@ -209,14 +230,21 @@ mod tests {
         // Null write deletes; deleting an absent key is idempotent.
         b.write(&ann(), &Value::Null, SimTime::ZERO).unwrap();
         assert_eq!(b.read(&ann()).unwrap(), Value::Null);
-        assert_eq!(b.write(&ann(), &Value::Null, SimTime::ZERO).unwrap(), Some(Value::Null));
+        assert_eq!(
+            b.write(&ann(), &Value::Null, SimTime::ZERO).unwrap(),
+            Some(Value::Null)
+        );
     }
 
     #[test]
     fn enumerate() {
         let mut b = setup();
-        b.write(&ItemId::with("phone", [Value::from("bob")]), &Value::from("1"), SimTime::ZERO)
-            .unwrap();
+        b.write(
+            &ItemId::with("phone", [Value::from("bob")]),
+            &Value::from("1"),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let pat = ItemPattern::with("phone", [Term::var("n")]);
         assert_eq!(b.enumerate(&pat).len(), 2);
     }

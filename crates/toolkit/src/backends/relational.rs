@@ -77,7 +77,11 @@ impl RelationalBackend {
                 fixed_key: props.get("row").cloned(),
             });
         }
-        RelationalBackend { db, maps, commands: rid.commands.clone() }
+        RelationalBackend {
+            db,
+            maps,
+            commands: rid.commands.clone(),
+        }
     }
 
     fn command(&self, op: &str, base: &str) -> Result<&str, RisError> {
@@ -99,14 +103,17 @@ impl RelationalBackend {
         let mut out = Vec::new();
         for f in firings {
             for m in self.maps.iter().filter(|m| m.table == f.table) {
-                let Ok(table) = self.db.get_table(&f.table) else { continue };
-                let (Ok(ki), Ok(vi)) =
-                    (table.col_index(&m.key_col), table.col_index(&m.val_col))
+                let Ok(table) = self.db.get_table(&f.table) else {
+                    continue;
+                };
+                let (Ok(ki), Ok(vi)) = (table.col_index(&m.key_col), table.col_index(&m.val_col))
                 else {
                     continue;
                 };
                 let key_row = f.new_row.as_ref().or(f.old_row.as_ref());
-                let Some(key) = key_row.map(|r| r[ki].clone()) else { continue };
+                let Some(key) = key_row.map(|r| r[ki].clone()) else {
+                    continue;
+                };
                 if !m.key_matches(&key) {
                     continue;
                 }
@@ -117,7 +124,11 @@ impl RelationalBackend {
                 if old.as_ref() == Some(&new) {
                     continue;
                 }
-                out.push(Change { item: m.item_for(&key), old, new });
+                out.push(Change {
+                    item: m.item_for(&key),
+                    old,
+                    new,
+                });
             }
         }
         out
@@ -190,7 +201,13 @@ impl RisBackend for RelationalBackend {
         // a SELECT-only check instead.
         let parsed = hcm_ris::relational::parse_command(&cmd)?;
         match &parsed {
-            hcm_ris::relational::Command::Select { table, columns, predicate, order: _, limit: _ } => {
+            hcm_ris::relational::Command::Select {
+                table,
+                columns,
+                predicate,
+                order: _,
+                limit: _,
+            } => {
                 let t = self.db.get_table(table)?;
                 let proj: Vec<usize> = if columns.len() == 1 && columns[0] == "*" {
                     (0..t.columns().len()).collect()
@@ -213,7 +230,9 @@ impl RisBackend for RelationalBackend {
                 }
                 Ok(value)
             }
-            _ => Err(RisError::BadCommand("read template must be a SELECT".into())),
+            _ => Err(RisError::BadCommand(
+                "read template must be a SELECT".into(),
+            )),
         }
     }
 
@@ -221,8 +240,12 @@ impl RisBackend for RelationalBackend {
         let Some(m) = self.maps.iter().find(|m| m.base == pattern.base) else {
             return Vec::new();
         };
-        let Ok(table) = self.db.get_table(&m.table) else { return Vec::new() };
-        let Ok(ki) = table.col_index(&m.key_col) else { return Vec::new() };
+        let Ok(table) = self.db.get_table(&m.table) else {
+            return Vec::new();
+        };
+        let Ok(ki) = table.col_index(&m.key_col) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for row in table.rows() {
             if !m.key_matches(&row[ki]) {
@@ -265,7 +288,8 @@ col = salary
     fn setup() -> RelationalBackend {
         let mut db = Database::new();
         db.create_table("employees", &["empid", "salary"]).unwrap();
-        db.execute("INSERT INTO employees VALUES ('e1', 90000)").unwrap();
+        db.execute("INSERT INTO employees VALUES ('e1', 90000)")
+            .unwrap();
         let rid = CmRid::parse(RID).unwrap();
         RelationalBackend::new(db, &rid)
     }
@@ -279,7 +303,9 @@ col = salary
         let mut b = setup();
         let changes = b
             .apply_spontaneous(
-                &SpontaneousOp::Sql("update employees set salary = 95000 where empid = 'e1'".into()),
+                &SpontaneousOp::Sql(
+                    "update employees set salary = 95000 where empid = 'e1'".into(),
+                ),
                 SimTime::ZERO,
             )
             .unwrap();
@@ -312,8 +338,10 @@ col = salary
     #[test]
     fn no_change_when_other_column_updated() {
         let mut db = Database::new();
-        db.create_table("employees", &["empid", "salary", "office"]).unwrap();
-        db.execute("INSERT INTO employees VALUES ('e1', 90000, 'b1')").unwrap();
+        db.create_table("employees", &["empid", "salary", "office"])
+            .unwrap();
+        db.execute("INSERT INTO employees VALUES ('e1', 90000, 'b1')")
+            .unwrap();
         let rid = CmRid::parse(RID).unwrap();
         let mut b = RelationalBackend::new(db, &rid);
         let changes = b
@@ -333,7 +361,10 @@ col = salary
         assert_eq!(b.read(&e1()).unwrap(), Value::Int(99000));
         // No spontaneous change surfaced.
         let changes = b
-            .apply_spontaneous(&SpontaneousOp::Sql("select empid from employees".into()), SimTime::ZERO)
+            .apply_spontaneous(
+                &SpontaneousOp::Sql("select empid from employees".into()),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(changes.is_empty());
     }
@@ -356,8 +387,12 @@ col = salary
     #[test]
     fn enumerate_matches_pattern() {
         let mut b = setup();
-        b.write(&ItemId::with("salary1", [Value::from("e2")]), &Value::Int(1), SimTime::ZERO)
-            .unwrap();
+        b.write(
+            &ItemId::with("salary1", [Value::from("e2")]),
+            &Value::Int(1),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let pat = ItemPattern::with("salary1", [Term::var("n")]);
         let items = b.enumerate(&pat);
         assert_eq!(items.len(), 2);
@@ -371,7 +406,10 @@ col = salary
     fn wrong_op_shape_panics() {
         let mut b = setup();
         let _ = b.apply_spontaneous(
-            &SpontaneousOp::KvPut { key: "k".into(), value: Value::Int(1) },
+            &SpontaneousOp::KvPut {
+                key: "k".into(),
+                value: Value::Int(1),
+            },
             SimTime::ZERO,
         );
     }

@@ -31,7 +31,10 @@ impl WhoisBackend {
             .maps
             .iter()
             .filter_map(|(base, props)| {
-                props.get("field").map(|f| WhoisMap { base: base.clone(), field: f.clone() })
+                props.get("field").map(|f| WhoisMap {
+                    base: base.clone(),
+                    field: f.clone(),
+                })
             })
             .collect();
         WhoisBackend { dir, maps }
@@ -71,7 +74,11 @@ impl RisBackend for WhoisBackend {
                         .lookup_field(name, field)
                         .map(Value::from)
                         .unwrap_or(Value::Null);
-                    out.push(Change { item, old: Some(old), new: Value::from(value.as_str()) });
+                    out.push(Change {
+                        item,
+                        old: Some(old),
+                        new: Value::from(value.as_str()),
+                    });
                 }
                 self.dir.admin_set(name, field, value);
             }
@@ -99,7 +106,9 @@ impl RisBackend for WhoisBackend {
         _value: &Value,
         _now: SimTime,
     ) -> Result<Option<Value>, RisError> {
-        Err(RisError::Unsupported(format!("whois directory is read-only (write to `{item}`)")))
+        Err(RisError::Unsupported(format!(
+            "whois directory is read-only (write to `{item}`)"
+        )))
     }
 
     fn read(&self, item: &ItemId) -> Result<Value, RisError> {
@@ -113,7 +122,9 @@ impl RisBackend for WhoisBackend {
     }
 
     fn enumerate(&self, pattern: &ItemPattern) -> Vec<ItemId> {
-        let Ok(m) = self.map_for(&pattern.base) else { return Vec::new() };
+        let Ok(m) = self.map_for(&pattern.base) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for (name, fields) in self.dir.dump() {
             if !fields.contains_key(&m.field) {
@@ -159,12 +170,14 @@ mod tests {
     fn read_and_absent() {
         let b = setup();
         assert_eq!(
-            b.read(&ItemId::with("wphone", [Value::from("ann")])).unwrap(),
+            b.read(&ItemId::with("wphone", [Value::from("ann")]))
+                .unwrap(),
             Value::from("555-0100")
         );
         // bob has no phone field.
         assert_eq!(
-            b.read(&ItemId::with("wphone", [Value::from("bob")])).unwrap(),
+            b.read(&ItemId::with("wphone", [Value::from("bob")]))
+                .unwrap(),
             Value::Null
         );
     }
@@ -187,7 +200,8 @@ mod tests {
         assert_eq!(ch[0].old, Some(Value::from("555-0100")));
         assert_eq!(ch[0].new, Value::from("555-0200"));
         assert_eq!(
-            b.read(&ItemId::with("wphone", [Value::from("ann")])).unwrap(),
+            b.read(&ItemId::with("wphone", [Value::from("ann")]))
+                .unwrap(),
             Value::from("555-0200")
         );
         // Unmapped fields produce nothing.

@@ -177,22 +177,26 @@ impl CompiledStrategy {
             guarantees.push(g);
         }
 
-        Ok(CompiledStrategy { rules, locator, guarantees })
+        Ok(CompiledStrategy {
+            rules,
+            locator,
+            guarantees,
+        })
     }
 
     /// Rules whose LHS the given site's shell evaluates, excluding
     /// periodic (`P`-headed) rules.
     pub fn rules_at(&self, site: SiteId) -> impl Iterator<Item = &CompiledRule> {
-        self.rules.iter().filter(move |r| {
-            r.lhs_site == site && !matches!(r.rule.lhs, TemplateDesc::P { .. })
-        })
+        self.rules
+            .iter()
+            .filter(move |r| r.lhs_site == site && !matches!(r.rule.lhs, TemplateDesc::P { .. }))
     }
 
     /// Periodic rules the given site's shell must arm timers for.
     pub fn periodic_rules_at(&self, site: SiteId) -> impl Iterator<Item = &CompiledRule> {
-        self.rules.iter().filter(move |r| {
-            r.lhs_site == site && matches!(r.rule.lhs, TemplateDesc::P { .. })
-        })
+        self.rules
+            .iter()
+            .filter(move |r| r.lhs_site == site && matches!(r.rule.lhs, TemplateDesc::P { .. }))
     }
 
     /// Interest patterns for a site's translator: LHS templates of
@@ -272,7 +276,12 @@ fn place_rule(
         }
     };
     let id = registry.register(rule.to_string());
-    Ok(CompiledRule { id, rule, lhs_site, rhs_site })
+    Ok(CompiledRule {
+        id,
+        rule,
+        lhs_site,
+        rhs_site,
+    })
 }
 
 #[cfg(test)]
@@ -280,9 +289,12 @@ mod tests {
     use super::*;
 
     fn sites() -> BTreeMap<String, SiteId> {
-        [("A".to_string(), SiteId::new(0)), ("B".to_string(), SiteId::new(1))]
-            .into_iter()
-            .collect()
+        [
+            ("A".to_string(), SiteId::new(0)),
+            ("B".to_string(), SiteId::new(1)),
+        ]
+        .into_iter()
+        .collect()
     }
 
     const SPEC: &str = r#"
@@ -314,7 +326,10 @@ P(60s) -> RR(salary1(n)) within 1s
         assert_eq!(cs.rules[1].rhs_site, SiteId::new(0));
         assert_eq!(reg.len(), 2);
         assert_eq!(cs.guarantees.len(), 1);
-        assert_eq!(cs.guarantee_sites(&cs.guarantees[0]), vec![SiteId::new(0), SiteId::new(1)]);
+        assert_eq!(
+            cs.guarantee_sites(&cs.guarantees[0]),
+            vec![SiteId::new(0), SiteId::new(1)]
+        );
         assert!(cs.rule(cs.rules[0].id).is_some());
         assert!(cs.rule(RuleId(99)).is_none());
     }

@@ -71,7 +71,10 @@ pub mod interfaces {
     /// Read Interface: `RR(X) ∧ (X = b) →δ R(X, b)`.
     #[must_use]
     pub fn read(item: &str, bound: SimDuration) -> String {
-        format!("RR({item}) when {item} = b -> R({item}, b) within {}", secs(bound))
+        format!(
+            "RR({item}) when {item} = b -> R({item}, b) within {}",
+            secs(bound)
+        )
     }
 }
 
@@ -231,7 +234,11 @@ mod tests {
             interfaces::no_spontaneous_write("X"),
             interfaces::notify("salary1(n)", SimDuration::from_secs(2)),
             interfaces::conditional_notify("X", 0.1, SimDuration::from_secs(2)),
-            interfaces::periodic_notify("X", SimDuration::from_secs(300), SimDuration::from_millis(500)),
+            interfaces::periodic_notify(
+                "X",
+                SimDuration::from_secs(300),
+                SimDuration::from_millis(500),
+            ),
             interfaces::read("X", SimDuration::from_secs(1)),
         ] {
             parse_interface(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
@@ -240,12 +247,25 @@ mod tests {
 
     #[test]
     fn strategy_builders_parse() {
-        parse_strategy_rule(&strategies::propagate("salary1(n)", "salary2(n)", SimDuration::from_secs(5)))
-            .unwrap();
-        parse_strategy_rule(&strategies::propagate_cached("X", "Y", "Cx", SimDuration::from_secs(5)))
-            .unwrap();
-        for r in strategies::poll_and_propagate("X", "Y", SimDuration::from_secs(60), SimDuration::from_secs(1))
-        {
+        parse_strategy_rule(&strategies::propagate(
+            "salary1(n)",
+            "salary2(n)",
+            SimDuration::from_secs(5),
+        ))
+        .unwrap();
+        parse_strategy_rule(&strategies::propagate_cached(
+            "X",
+            "Y",
+            "Cx",
+            SimDuration::from_secs(5),
+        ))
+        .unwrap();
+        for r in strategies::poll_and_propagate(
+            "X",
+            "Y",
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(1),
+        ) {
             parse_strategy_rule(&r).unwrap();
         }
     }
@@ -264,25 +284,50 @@ mod tests {
 
     #[test]
     fn suggestions_follow_the_paper() {
-        let notify = vec![parse_interface(&interfaces::notify("X", SimDuration::from_secs(2))).unwrap()];
-        let read = vec![parse_interface(&interfaces::read("X", SimDuration::from_secs(1))).unwrap()];
-        let write = vec![parse_interface(&interfaces::write("Y", SimDuration::from_secs(1))).unwrap()];
+        let notify =
+            vec![parse_interface(&interfaces::notify("X", SimDuration::from_secs(2))).unwrap()];
+        let read =
+            vec![parse_interface(&interfaces::read("X", SimDuration::from_secs(1))).unwrap()];
+        let write =
+            vec![parse_interface(&interfaces::write("Y", SimDuration::from_secs(1))).unwrap()];
         let none: Vec<InterfaceStmt> = vec![];
 
         // notify + write → propagation with all four guarantees.
-        let s = suggest_copy_strategies("X", "Y", &notify, &write, SimDuration::from_secs(60), SimDuration::from_secs(5));
-        assert!(s.iter().any(|x| x.name == "propagate"
-            && x.valid_guarantees.contains(&"leads")));
+        let s = suggest_copy_strategies(
+            "X",
+            "Y",
+            &notify,
+            &write,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(5),
+        );
+        assert!(s
+            .iter()
+            .any(|x| x.name == "propagate" && x.valid_guarantees.contains(&"leads")));
 
         // read + write → polling without guarantee (2).
-        let s = suggest_copy_strategies("X", "Y", &read, &write, SimDuration::from_secs(60), SimDuration::from_secs(5));
+        let s = suggest_copy_strategies(
+            "X",
+            "Y",
+            &read,
+            &write,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(5),
+        );
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].name, "poll_and_propagate");
         assert!(!s[0].valid_guarantees.contains(&"leads"));
         assert!(s[0].valid_guarantees.contains(&"follows"));
 
         // no write interface at destination → nothing to suggest.
-        let s = suggest_copy_strategies("X", "Y", &notify, &none, SimDuration::from_secs(60), SimDuration::from_secs(5));
+        let s = suggest_copy_strategies(
+            "X",
+            "Y",
+            &notify,
+            &none,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(5),
+        );
         assert!(s.is_empty());
     }
 }
@@ -331,9 +376,9 @@ pub mod derive {
             .iter()
             .filter(|s| classify(s) == Some(IfaceClass::PeriodicNotify))
             .find_map(|s| match &s.lhs {
-                TemplateDesc::P { period: Term::Const(Value::Int(ms)) } if *ms > 0 => {
-                    Some(SimDuration::from_millis(*ms as u64))
-                }
+                TemplateDesc::P {
+                    period: Term::Const(Value::Int(ms)),
+                } if *ms > 0 => Some(SimDuration::from_millis(*ms as u64)),
                 _ => None,
             })
     }
@@ -354,8 +399,12 @@ pub mod derive {
             return Vec::new();
         };
         let notify = bound_of(src_ifaces, IfaceClass::Notify);
-        let periodic = period_of(src_ifaces)
-            .map(|p| (p, bound_of(src_ifaces, IfaceClass::PeriodicNotify).unwrap_or_default()));
+        let periodic = period_of(src_ifaces).map(|p| {
+            (
+                p,
+                bound_of(src_ifaces, IfaceClass::PeriodicNotify).unwrap_or_default(),
+            )
+        });
         let mut out = Vec::new();
         let (source_lag, lossless) = match (notify, periodic) {
             // Plain notify: every change surfaces within its bound.
@@ -456,15 +505,13 @@ mod derive_tests {
     fn propagation_kappa_is_sum_of_bounds() {
         let src = vec![parse_interface("Ws(X, b) -> N(X, b) within 2s").unwrap()];
         let dst = vec![parse_interface("WR(Y, b) -> W(Y, b) within 1s").unwrap()];
-        let derived = derive::propagation_guarantees(
-            "X",
-            "Y",
-            &src,
-            &dst,
-            SimDuration::from_secs(5),
-        );
+        let derived =
+            derive::propagation_guarantees("X", "Y", &src, &dst, SimDuration::from_secs(5));
         let names: Vec<_> = derived.iter().map(|d| d.name).collect();
-        assert_eq!(names, vec!["follows", "strictly_follows", "leads", "follows_metric"]);
+        assert_eq!(
+            names,
+            vec!["follows", "strictly_follows", "leads", "follows_metric"]
+        );
         let metric = derived.iter().find(|d| d.name == "follows_metric").unwrap();
         assert_eq!(metric.kappa, Some(SimDuration::from_millis(8_500)));
         // Every formula parses.
@@ -475,16 +522,10 @@ mod derive_tests {
 
     #[test]
     fn periodic_source_drops_leads_and_widens_kappa() {
-        let src =
-            vec![parse_interface("P(60s) when X = b -> N(X, b) within 1s").unwrap()];
+        let src = vec![parse_interface("P(60s) when X = b -> N(X, b) within 1s").unwrap()];
         let dst = vec![parse_interface("WR(Y, b) -> W(Y, b) within 1s").unwrap()];
-        let derived = derive::propagation_guarantees(
-            "X",
-            "Y",
-            &src,
-            &dst,
-            SimDuration::from_secs(5),
-        );
+        let derived =
+            derive::propagation_guarantees("X", "Y", &src, &dst, SimDuration::from_secs(5));
         assert!(!derived.iter().any(|d| d.name == "leads"));
         let metric = derived.iter().find(|d| d.name == "follows_metric").unwrap();
         // 60s period + 1s ε + 5s strategy + 1s write + 500ms.
@@ -513,8 +554,10 @@ mod derive_tests {
     fn unsupported_interfaces_derive_nothing() {
         let none: Vec<hcm_rulelang::InterfaceStmt> = vec![];
         let dst = vec![parse_interface("WR(Y, b) -> W(Y, b) within 1s").unwrap()];
-        assert!(derive::propagation_guarantees("X", "Y", &none, &dst, SimDuration::from_secs(5))
-            .is_empty());
+        assert!(
+            derive::propagation_guarantees("X", "Y", &none, &dst, SimDuration::from_secs(5))
+                .is_empty()
+        );
         assert!(derive::polling_guarantees(
             "X",
             "Y",

@@ -238,8 +238,11 @@ mod tests {
     use hcm_rulelang::parse_guarantee;
 
     fn metric_g() -> Guarantee {
-        parse_guarantee("m", "(Y = y) @ t1 => (X = y) @ t2 and t1 - 30s < t2 and t2 < t1")
-            .unwrap()
+        parse_guarantee(
+            "m",
+            "(Y = y) @ t1 => (X = y) @ t2 and t1 - 30s < t2 and t2 < t1",
+        )
+        .unwrap()
     }
 
     fn nonmetric_g() -> Guarantee {
@@ -262,8 +265,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(mentioned_bases(&g), vec!["Flag", "Tb", "X", "Y"]);
-        let e = parse_guarantee("e", "exists(project(i)) @ t => exists(salary(i)) @? [t, t + 1s]")
-            .unwrap();
+        let e = parse_guarantee(
+            "e",
+            "exists(project(i)) @ t => exists(salary(i)) @? [t, t + 1s]",
+        )
+        .unwrap();
         assert_eq!(mentioned_bases(&e), vec!["project", "salary"]);
     }
 

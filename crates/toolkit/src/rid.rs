@@ -52,7 +52,9 @@ impl RisKind {
             "biblio" => Ok(RisKind::Biblio),
             "whois" => Ok(RisKind::Whois),
             "email" => Ok(RisKind::Email),
-            other => Err(RidError { msg: format!("unknown ris kind `{other}`") }),
+            other => Err(RidError {
+                msg: format!("unknown ris kind `{other}`"),
+            }),
         }
     }
 }
@@ -128,7 +130,8 @@ impl CmRid {
     pub fn parse(src: &str) -> Result<CmRid, RidError> {
         let spec = SpecFile::parse(src).map_err(|e| RidError { msg: e.to_string() })?;
         let kind = RisKind::parse(
-            spec.require("ris").map_err(|e| RidError { msg: e.to_string() })?,
+            spec.require("ris")
+                .map_err(|e| RidError { msg: e.to_string() })?,
         )?;
         let service = match spec.props.get("service") {
             None => SimDuration::from_millis(100),
@@ -137,8 +140,9 @@ impl CmRid {
         let mut interfaces = Vec::new();
         for sect in spec.sections_of("interface") {
             for line in &sect.lines {
-                let stmt = parse_interface(line)
-                    .map_err(|e| RidError { msg: format!("in [interface]: {e}") })?;
+                let stmt = parse_interface(line).map_err(|e| RidError {
+                    msg: format!("in [interface]: {e}"),
+                })?;
                 if classify(&stmt).is_none() {
                     return Err(RidError {
                         msg: format!("interface statement not implementable: {stmt}"),
@@ -154,56 +158,84 @@ impl CmRid {
                     msg: "[command] needs exactly `op itembase` arguments".into(),
                 });
             };
-            if !matches!(op.as_str(), "write" | "read" | "delete" | "insert" | "enumerate") {
-                return Err(RidError { msg: format!("unknown command op `{op}`") });
+            if !matches!(
+                op.as_str(),
+                "write" | "read" | "delete" | "insert" | "enumerate"
+            ) {
+                return Err(RidError {
+                    msg: format!("unknown command op `{op}`"),
+                });
             }
             let template = sect.lines.join(" ");
             if template.is_empty() {
-                return Err(RidError { msg: format!("[command {op} {base}] has no body") });
+                return Err(RidError {
+                    msg: format!("[command {op} {base}] has no body"),
+                });
             }
             commands.insert((op.clone(), base.clone()), template);
         }
         let mut maps = BTreeMap::new();
         for sect in spec.sections_of("map") {
             let [base] = sect.args() else {
-                return Err(RidError { msg: "[map] needs exactly one itembase argument".into() });
+                return Err(RidError {
+                    msg: "[map] needs exactly one itembase argument".into(),
+                });
             };
-            let pairs = sect.as_pairs().map_err(|e| RidError { msg: e.to_string() })?;
+            let pairs = sect
+                .as_pairs()
+                .map_err(|e| RidError { msg: e.to_string() })?;
             maps.insert(base.clone(), pairs);
         }
-        Ok(CmRid { kind, service, interfaces, commands, maps })
+        Ok(CmRid {
+            kind,
+            service,
+            interfaces,
+            commands,
+            maps,
+        })
     }
 
     /// Interface statements of a given class.
     pub fn of_class(&self, class: IfaceClass) -> impl Iterator<Item = &InterfaceStmt> {
-        self.interfaces.iter().filter(move |s| classify(s) == Some(class))
+        self.interfaces
+            .iter()
+            .filter(move |s| classify(s) == Some(class))
     }
 
     /// The command template for `(op, base)`, with placeholders intact.
     #[must_use]
     pub fn command(&self, op: &str, base: &str) -> Option<&str> {
-        self.commands.get(&(op.to_owned(), base.to_owned())).map(String::as_str)
+        self.commands
+            .get(&(op.to_owned(), base.to_owned()))
+            .map(String::as_str)
     }
 
     /// A mapping property for an item base (`key`, `path`, `type`, …).
     #[must_use]
     pub fn map_prop(&self, base: &str, prop: &str) -> Option<&str> {
-        self.maps.get(base).and_then(|m| m.get(prop)).map(String::as_str)
+        self.maps
+            .get(base)
+            .and_then(|m| m.get(prop))
+            .map(String::as_str)
     }
 }
 
 fn parse_duration(s: &str) -> Result<SimDuration, RidError> {
     let s = s.trim();
     if let Some(ms) = s.strip_suffix("ms") {
-        let v: f64 =
-            ms.parse().map_err(|e| RidError { msg: format!("bad duration `{s}`: {e}") })?;
+        let v: f64 = ms.parse().map_err(|e| RidError {
+            msg: format!("bad duration `{s}`: {e}"),
+        })?;
         Ok(SimDuration::from_millis(v.round() as u64))
     } else if let Some(secs) = s.strip_suffix('s') {
-        let v: f64 =
-            secs.parse().map_err(|e| RidError { msg: format!("bad duration `{s}`: {e}") })?;
+        let v: f64 = secs.parse().map_err(|e| RidError {
+            msg: format!("bad duration `{s}`: {e}"),
+        })?;
         Ok(SimDuration::from_millis((v * 1000.0).round() as u64))
     } else {
-        Err(RidError { msg: format!("duration `{s}` needs an `s` or `ms` suffix") })
+        Err(RidError {
+            msg: format!("duration `{s}` needs an `s` or `ms` suffix"),
+        })
     }
 }
 
@@ -310,7 +342,10 @@ select salary from employees where empid = $p0
             Some(&Value::Int(90000)),
             true,
         );
-        assert_eq!(out, "update employees set salary = 90000 where empid = 'e42'");
+        assert_eq!(
+            out,
+            "update employees set salary = 90000 where empid = 'e42'"
+        );
         let unquoted = substitute("phone/$p0", &[Value::from("ann")], None, false);
         assert_eq!(unquoted, "phone/ann");
         let null = substitute("set x = $value", &[], Some(&Value::Null), true);

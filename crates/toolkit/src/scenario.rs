@@ -14,12 +14,12 @@ use crate::compile::CompiledStrategy;
 use crate::msg::{CmMsg, SpontaneousOp};
 use crate::registry::GuaranteeRegistry;
 use crate::rid::CmRid;
-use crate::shell::{FailureConfig, ShellActor, ShellStats};
-use crate::translator::{TranslatorActor, TranslatorStats};
+use crate::shell::{FailureConfig, ShellActor, ShellStatsHandle};
+use crate::translator::{TranslatorActor, TranslatorStatsHandle};
 use hcm_core::{
     ItemId, RuleId, RuleRegistry, SimDuration, SimTime, SiteId, Trace, TraceRecorder, Value,
 };
-use hcm_simkit::{Actor, ActorId, Network, RunOutcome, Sim};
+use hcm_simkit::{Actor, ActorId, Network, Obs, RunOutcome, Sim};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -61,10 +61,10 @@ pub struct SiteHandle {
     /// The parsed CM-RID (interface statements in the same order as
     /// `iface_ids`) — checkers rebuild the rule set from this.
     pub rid: CmRid,
-    /// Translator counters.
-    pub translator_stats: Rc<RefCell<TranslatorStats>>,
-    /// Shell counters.
-    pub shell_stats: Rc<RefCell<ShellStats>>,
+    /// Translator counters (registry-backed view).
+    pub translator_stats: TranslatorStatsHandle,
+    /// Shell counters (registry-backed view).
+    pub shell_stats: ShellStatsHandle,
     /// CM-private/auxiliary data of the shell (§7.1: applications read
     /// auxiliary data through the shell's programmatic interface —
     /// this is that interface).
@@ -130,7 +130,11 @@ impl ScenarioBuilder {
         rid_src: &str,
     ) -> Result<Self, ScenarioError> {
         let rid = CmRid::parse(rid_src).map_err(|e| ScenarioError { msg: e.to_string() })?;
-        self.sites.push(SiteSpec { name: name.to_owned(), rid, store });
+        self.sites.push(SiteSpec {
+            name: name.to_owned(),
+            rid,
+            store,
+        });
         Ok(self)
     }
 
@@ -153,12 +157,19 @@ impl ScenarioBuilder {
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let n = self.sites.len();
         if n == 0 {
-            return Err(ScenarioError { msg: "a scenario needs at least one site".into() });
+            return Err(ScenarioError {
+                msg: "a scenario needs at least one site".into(),
+            });
         }
         let mut site_ids = BTreeMap::new();
         for (i, s) in self.sites.iter().enumerate() {
-            if site_ids.insert(s.name.clone(), SiteId::new(i as u32)).is_some() {
-                return Err(ScenarioError { msg: format!("duplicate site name `{}`", s.name) });
+            if site_ids
+                .insert(s.name.clone(), SiteId::new(i as u32))
+                .is_some()
+            {
+                return Err(ScenarioError {
+                    msg: format!("duplicate site name `{}`", s.name),
+                });
             }
         }
 
@@ -171,7 +182,11 @@ impl ScenarioBuilder {
         let mut iface_ids: Vec<Vec<RuleId>> = Vec::with_capacity(n);
         for s in &self.sites {
             iface_ids.push(
-                s.rid.interfaces.iter().map(|st| registry.register(st.to_string())).collect(),
+                s.rid
+                    .interfaces
+                    .iter()
+                    .map(|st| registry.register(st.to_string()))
+                    .collect(),
             );
         }
 
@@ -179,10 +194,12 @@ impl ScenarioBuilder {
             .map_err(|e| ScenarioError { msg: e.to_string() })?;
 
         let mut sim = Sim::with_network(self.seed, self.network.unwrap_or_default());
+        let obs = sim.obs();
 
         // Actor id layout: shells first (0..n), translators next (n..2n).
-        let shells_map: BTreeMap<SiteId, ActorId> =
-            (0..n).map(|i| (SiteId::new(i as u32), ActorId(i as u32))).collect();
+        let shells_map: BTreeMap<SiteId, ActorId> = (0..n)
+            .map(|i| (SiteId::new(i as u32), ActorId(i as u32)))
+            .collect();
 
         // Per-site shared state.
         let mut handles = Vec::with_capacity(n);
@@ -205,7 +222,7 @@ impl ScenarioBuilder {
 
         for (i, _) in self.sites.iter().enumerate() {
             let site = SiteId::new(i as u32);
-            let shell_stats = Rc::new(RefCell::new(ShellStats::default()));
+            let shell_stats = ShellStatsHandle::new(obs.metrics.clone(), site);
             let shell = ShellActor::new(
                 site,
                 ActorId((n + i) as u32),
@@ -214,7 +231,7 @@ impl ScenarioBuilder {
                 privates[i].clone(),
                 registries[i].clone(),
                 recorder.clone(),
-                shell_stats.clone(),
+                obs.clone(),
                 self.failure_cfg,
                 self.stop_periodics_at,
             );
@@ -228,7 +245,7 @@ impl ScenarioBuilder {
             let site = SiteId::new(i as u32);
             let rid_copy = s.rid.clone();
             let backend = build_backend(s.store, &s.rid);
-            let t_stats = Rc::new(RefCell::new(TranslatorStats::default()));
+            let t_stats = TranslatorStatsHandle::new(obs.metrics.clone(), site);
             let translator = TranslatorActor::new(
                 site,
                 ActorId(i as u32),
@@ -256,12 +273,22 @@ impl ScenarioBuilder {
             });
         }
 
-        Ok(Scenario { sim, recorder, rule_registry: registry, strategy, sites: site_handles })
+        Ok(Scenario {
+            obs,
+            sim,
+            recorder,
+            rule_registry: registry,
+            strategy,
+            sites: site_handles,
+        })
     }
 }
 
 /// A runnable toolkit deployment.
 pub struct Scenario {
+    /// The observability registry shared by the simulation substrate
+    /// and every shell/translator (metrics + causal spans).
+    pub obs: Obs,
     /// The underlying simulation (exposed for failure injection and
     /// custom actors).
     pub sim: Sim<CmMsg>,
@@ -304,7 +331,8 @@ impl Scenario {
     pub fn overload(&mut self, site: &str, from: SimTime, to: SimTime, extra: SimDuration) {
         let t = self.site(site).translator;
         self.sim.inject_at(from, t, CmMsg::SetServiceExtra(extra));
-        self.sim.inject_at(to, t, CmMsg::SetServiceExtra(SimDuration::ZERO));
+        self.sim
+            .inject_at(to, t, CmMsg::SetServiceExtra(SimDuration::ZERO));
     }
 
     /// Crash a site's database at `at` — the §5 *logical failure*
@@ -338,12 +366,25 @@ impl Scenario {
     pub fn trace(&self) -> Trace {
         self.recorder.snapshot()
     }
+
+    /// Human-readable metrics table for the run so far.
+    #[must_use]
+    pub fn metrics_table(&self) -> String {
+        self.obs.table()
+    }
+
+    /// Deterministic JSON-lines metrics snapshot: byte-identical
+    /// across same-seed runs of the same scenario.
+    #[must_use]
+    pub fn metrics_jsonl(&self) -> String {
+        self.obs.snapshot_jsonl()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use hcm_ris::relational::Database;
 
     const RID_A: &str = r#"
@@ -393,7 +434,8 @@ N(salary1(n), b) -> WR(salary2(n), b) within 5s
     fn db_with_salary(v: i64) -> Database {
         let mut db = Database::new();
         db.create_table("employees", &["empid", "salary"]).unwrap();
-        db.execute(&format!("INSERT INTO employees VALUES ('e1', {v})")).unwrap();
+        db.execute(&format!("INSERT INTO employees VALUES ('e1', {v})"))
+            .unwrap();
         db
     }
 
@@ -434,11 +476,18 @@ N(salary1(n), b) -> WR(salary2(n), b) within 5s
         assert_eq!(w_event.trigger, Some(trace.events()[2].id));
         // Metric bound: W within 5s+1s+net of the Ws.
         let delay = w_event.time - trace.events()[0].time;
-        assert!(delay < SimDuration::from_secs(6), "propagation took {delay}");
+        assert!(
+            delay < SimDuration::from_secs(6),
+            "propagation took {delay}"
+        );
         // Stats.
         assert_eq!(sc.site("A").translator_stats.borrow().notifications, 1);
         assert_eq!(sc.site("B").translator_stats.borrow().writes_done, 1);
-        assert_eq!(sc.site("B").shell_stats.borrow().firings, 1, "RHS executes at B");
+        assert_eq!(
+            sc.site("B").shell_stats.borrow().firings,
+            1,
+            "RHS executes at B"
+        );
     }
 
     #[test]
@@ -514,7 +563,13 @@ N(salary1(n), b) -> WR(salary2(n), b) within 5s
             SpontaneousOp::Sql("update employees set salary = 1 where empid = 'e1'".into()),
         );
         sc.run_to_quiescence();
-        assert_eq!(sc.site("B").translator_stats.borrow().prohibition_violations, 1);
+        assert_eq!(
+            sc.site("B")
+                .translator_stats
+                .borrow()
+                .prohibition_violations,
+            1
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use hcm_core::{
     Bindings, EventDesc, EventId, ItemId, RuleId, SimDuration, SimTime, SiteId, TemplateDesc,
     TraceRecorder, Value,
 };
+use hcm_obs::{Metrics, Obs, Scope, SpanId, SpanKind, Spans};
 use hcm_rulelang::ast::BindingsEnv;
 use hcm_rulelang::StrategyRule;
 use hcm_simkit::{Actor, ActorId, Ctx};
@@ -31,7 +32,7 @@ use std::rc::Rc;
 /// Delay for shell→translator request submission (same machine).
 const LOCAL_DELAY: SimDuration = SimDuration::from_millis(1);
 
-/// Observable shell counters.
+/// Observable shell counters, materialized from the metrics registry.
 #[derive(Debug, Default, Clone)]
 pub struct ShellStats {
     /// Rule firings executed (RHS runs).
@@ -48,6 +49,52 @@ pub struct ShellStats {
     pub logical_failures_detected: u64,
     /// Failures cleared (late response arrived).
     pub failures_cleared: u64,
+}
+
+/// Registry-backed view of one shell's counters.
+///
+/// The shell writes every counter straight into the shared
+/// [`Metrics`] registry under `Scope::Site`; this handle is a thin
+/// typed view over those entries. `borrow()` materializes an owned
+/// [`ShellStats`] snapshot, so existing `stats.borrow().firings`
+/// call sites read naturally.
+#[derive(Debug, Clone)]
+pub struct ShellStatsHandle {
+    metrics: Metrics,
+    scope: Scope,
+}
+
+impl ShellStatsHandle {
+    /// View over `site`'s shell metrics in `metrics`.
+    #[must_use]
+    pub fn new(metrics: Metrics, site: SiteId) -> Self {
+        ShellStatsHandle {
+            metrics,
+            scope: Scope::Site(site.index()),
+        }
+    }
+
+    fn inc(&self, name: &str) {
+        self.metrics.inc(self.scope, name);
+    }
+
+    fn get(&self, name: &str) -> u64 {
+        self.metrics.counter(self.scope, name)
+    }
+
+    /// Snapshot the counters as an owned [`ShellStats`].
+    #[must_use]
+    pub fn borrow(&self) -> ShellStats {
+        ShellStats {
+            firings: self.get("shell.firings"),
+            cond_suppressed: self.get("shell.cond_suppressed"),
+            steps_skipped: self.get("shell.steps_skipped"),
+            requests_sent: self.get("shell.requests_sent"),
+            metric_failures_detected: self.get("shell.metric_failures_detected"),
+            logical_failures_detected: self.get("shell.logical_failures_detected"),
+            failures_cleared: self.get("shell.failures_cleared"),
+        }
+    }
 }
 
 /// Failure-detection timing configuration.
@@ -77,6 +124,11 @@ impl Default for FailureConfig {
 struct Outstanding {
     /// Whether a metric failure has already been flagged for it.
     flagged: bool,
+    /// The request's causal span, ended when the reply (or the
+    /// escalation verdict) arrives.
+    span: SpanId,
+    /// When the request was issued, for latency histograms.
+    sent_at: SimTime,
 }
 
 /// The CM-Shell actor. See module docs.
@@ -98,7 +150,9 @@ pub struct ShellActor {
     private: Rc<RefCell<BTreeMap<ItemId, Value>>>,
     registry: Rc<RefCell<GuaranteeRegistry>>,
     recorder: TraceRecorder,
-    stats: Rc<RefCell<ShellStats>>,
+    stats: ShellStatsHandle,
+    metrics: Metrics,
+    spans: Spans,
     failure_cfg: FailureConfig,
     outstanding: BTreeMap<u64, Outstanding>,
     next_req: u64,
@@ -117,7 +171,7 @@ impl ShellActor {
         private: Rc<RefCell<BTreeMap<ItemId, Value>>>,
         registry: Rc<RefCell<GuaranteeRegistry>>,
         recorder: TraceRecorder,
-        stats: Rc<RefCell<ShellStats>>,
+        obs: Obs,
         failure_cfg: FailureConfig,
         stop_periodics_at: SimTime,
     ) -> Self {
@@ -125,17 +179,13 @@ impl ShellActor {
         let my_rules = rules
             .iter()
             .enumerate()
-            .filter(|(_, r)| {
-                r.lhs_site == site && !matches!(r.rule.lhs, TemplateDesc::P { .. })
-            })
+            .filter(|(_, r)| r.lhs_site == site && !matches!(r.rule.lhs, TemplateDesc::P { .. }))
             .map(|(i, _)| i)
             .collect();
         let periodic_rules = rules
             .iter()
             .enumerate()
-            .filter(|(_, r)| {
-                r.lhs_site == site && matches!(r.rule.lhs, TemplateDesc::P { .. })
-            })
+            .filter(|(_, r)| r.lhs_site == site && matches!(r.rule.lhs, TemplateDesc::P { .. }))
             .map(|(i, _)| i)
             .collect();
         ShellActor {
@@ -149,12 +199,20 @@ impl ShellActor {
             private,
             registry,
             recorder,
-            stats,
+            stats: ShellStatsHandle::new(obs.metrics.clone(), site),
+            metrics: obs.metrics,
+            spans: obs.spans,
             failure_cfg,
             outstanding: BTreeMap::new(),
             next_req: 0,
             stop_periodics_at,
         }
+    }
+
+    /// Registry-backed view of this shell's counters.
+    #[must_use]
+    pub fn stats(&self) -> ShellStatsHandle {
+        self.stats.clone()
     }
 
     fn record(
@@ -165,7 +223,8 @@ impl ShellActor {
         rule: Option<RuleId>,
         trigger: Option<EventId>,
     ) -> EventId {
-        self.recorder.record(now, self.site, desc, old, rule, trigger)
+        self.recorder
+            .record(now, self.site, desc, old, rule, trigger)
     }
 
     fn private_lookup(&self, item: &ItemId) -> Option<Value> {
@@ -188,7 +247,17 @@ impl ShellActor {
                 lookup: |item: &ItemId| self.private_lookup(item),
             };
             if !r.rule.cond.eval(&env) {
-                self.stats.borrow_mut().cond_suppressed += 1;
+                self.stats.inc("shell.cond_suppressed");
+                let s = self.spans.start(
+                    SpanKind::CondEval,
+                    None,
+                    self.site,
+                    Some(r.id),
+                    Some(id),
+                    ctx.now(),
+                    "suppressed",
+                );
+                self.spans.end(s, ctx.now());
                 continue;
             }
             firings.push((i, bindings));
@@ -200,7 +269,24 @@ impl ShellActor {
                 self.execute_rhs(rule_id, id, bindings, ctx);
             } else {
                 let target = self.shells[&r.rhs_site];
-                ctx.send(target, CmMsg::RemoteFire { rule: r.id, trigger: id, bindings });
+                let s = self.spans.start(
+                    SpanKind::RemoteFire,
+                    None,
+                    self.site,
+                    Some(r.id),
+                    Some(id),
+                    ctx.now(),
+                    format!("to {}", r.rhs_site),
+                );
+                self.spans.end(s, ctx.now());
+                ctx.send(
+                    target,
+                    CmMsg::RemoteFire {
+                        rule: r.id,
+                        trigger: id,
+                        bindings,
+                    },
+                );
             }
         }
     }
@@ -213,12 +299,34 @@ impl ShellActor {
         bindings: Bindings,
         ctx: &mut Ctx<'_, CmMsg>,
     ) {
-        self.stats.borrow_mut().firings += 1;
+        let now = ctx.now();
+        self.stats.inc("shell.firings");
+        // Firing latency: how long after its trigger occurred did this
+        // rule's RHS begin executing (LHS transport + matching).
+        if let Some(trigger_time) = self.recorder.with(|t| t.get(trigger).map(|e| e.time)) {
+            self.metrics.observe(
+                Scope::Site(self.site.index()),
+                "shell.firing_latency",
+                now.saturating_since(trigger_time),
+            );
+        }
+        let firing_span = self.spans.start(
+            SpanKind::Firing,
+            None,
+            self.site,
+            Some(rule_id),
+            Some(trigger),
+            now,
+            "",
+        );
         let rule: StrategyRule = match self.rules.iter().find(|r| r.id == rule_id) {
             Some(r) => r.rule.clone(),
-            None => panic!("shell at {} asked to fire unknown rule {rule_id}", self.site),
+            None => panic!(
+                "shell at {} asked to fire unknown rule {rule_id}",
+                self.site
+            ),
         };
-        for step in &rule.steps {
+        for (step_idx, step) in rule.steps.iter().enumerate() {
             // Step conditions are evaluated at firing time at the RHS
             // site (Appendix A.1), against CM-local data.
             let cond_ok = {
@@ -229,28 +337,47 @@ impl ShellActor {
                 step.cond.eval(&env)
             };
             if !cond_ok {
-                self.stats.borrow_mut().steps_skipped += 1;
+                self.stats.inc("shell.steps_skipped");
                 continue;
             }
             let Some(desc) = step.event.instantiate(&bindings) else {
                 // Unbound variable: specification bug; skip the step.
-                self.stats.borrow_mut().steps_skipped += 1;
+                self.stats.inc("shell.steps_skipped");
                 continue;
             };
-            self.emit(desc, rule_id, trigger, ctx);
+            let step_span = self.spans.start(
+                SpanKind::RhsStep(step_idx),
+                Some(firing_span),
+                self.site,
+                Some(rule_id),
+                Some(trigger),
+                ctx.now(),
+                desc.tag(),
+            );
+            self.emit(desc, rule_id, trigger, step_span, ctx);
+            self.spans.end(step_span, ctx.now());
         }
+        self.spans.end(firing_span, ctx.now());
     }
 
     /// Emit one generated event: route it to the right component and
     /// record it where the paper says it occurs.
-    fn emit(&mut self, desc: EventDesc, rule: RuleId, trigger: EventId, ctx: &mut Ctx<'_, CmMsg>) {
+    fn emit(
+        &mut self,
+        desc: EventDesc,
+        rule: RuleId,
+        trigger: EventId,
+        parent_span: SpanId,
+        ctx: &mut Ctx<'_, CmMsg>,
+    ) {
         let now = ctx.now();
         match desc {
             EventDesc::Wr { item, value } => {
                 // The WR event occurs at the database when it receives
                 // the request — the translator records it.
-                let req_id = self.track_request(ctx);
-                self.stats.borrow_mut().requests_sent += 1;
+                let req_id =
+                    self.track_request(SpanKind::Request, Some(parent_span), Some(rule), ctx);
+                self.stats.inc("shell.requests_sent");
                 let me = ctx.me();
                 ctx.send_local(
                     self.translator,
@@ -265,8 +392,9 @@ impl ShellActor {
                 );
             }
             EventDesc::Rr { item } => {
-                let req_id = self.track_request(ctx);
-                self.stats.borrow_mut().requests_sent += 1;
+                let req_id =
+                    self.track_request(SpanKind::Request, Some(parent_span), Some(rule), ctx);
+                self.stats.inc("shell.requests_sent");
                 let me = ctx.me();
                 ctx.send_local(
                     self.translator,
@@ -287,7 +415,10 @@ impl ShellActor {
                     self.locator.is_private(&item.base),
                     "W(...) on RHS must target CM-private data, got `{item}`"
                 );
-                let old = self.private.borrow_mut().insert(item.clone(), value.clone());
+                let old = self
+                    .private
+                    .borrow_mut()
+                    .insert(item.clone(), value.clone());
                 let desc = EventDesc::W { item, value };
                 let id = self.record(now, desc.clone(), old, Some(rule), Some(trigger));
                 self.rematch_later(id, desc, ctx);
@@ -332,23 +463,62 @@ impl ShellActor {
         );
     }
 
-    fn track_request(&mut self, ctx: &mut Ctx<'_, CmMsg>) -> u64 {
+    fn track_request(
+        &mut self,
+        kind: SpanKind,
+        parent: Option<SpanId>,
+        rule: Option<RuleId>,
+        ctx: &mut Ctx<'_, CmMsg>,
+    ) -> u64 {
         let req_id = self.next_req;
         self.next_req += 1;
-        self.outstanding.insert(req_id, Outstanding { flagged: false });
+        let now = ctx.now();
+        let span = self
+            .spans
+            .start(kind, parent, self.site, rule, None, now, "");
+        self.metrics
+            .inc(Scope::Site(self.site.index()), "shell.deadlines_armed");
+        self.outstanding.insert(
+            req_id,
+            Outstanding {
+                flagged: false,
+                span,
+                sent_at: now,
+            },
+        );
         ctx.schedule_self(
             self.failure_cfg.deadline,
-            CmMsg::CheckDeadline { req_id, escalation: false },
+            CmMsg::CheckDeadline {
+                req_id,
+                escalation: false,
+            },
         );
         req_id
     }
 
     fn resolve_request(&mut self, req_id: u64, ctx: &mut Ctx<'_, CmMsg>) {
         if let Some(o) = self.outstanding.remove(&req_id) {
+            let now = ctx.now();
+            self.metrics.observe(
+                Scope::Site(self.site.index()),
+                "shell.request_latency",
+                now.saturating_since(o.sent_at),
+            );
+            self.spans.end(o.span, now);
             if o.flagged {
                 // Late response: the failure was metric after all and
                 // has now cleared.
-                self.stats.borrow_mut().failures_cleared += 1;
+                self.spans.annotate(o.span, "cleared-late");
+                self.stats.inc("shell.failures_cleared");
+                self.metrics.record(
+                    now,
+                    Scope::Site(self.site.index()),
+                    "shell.failure",
+                    [
+                        ("phase", "cleared".to_string()),
+                        ("req", req_id.to_string()),
+                    ],
+                );
                 self.registry.borrow_mut().on_clear(self.site, ctx.now());
                 self.broadcast_failure(FailureKindMsg::Cleared, ctx);
             }
@@ -358,7 +528,13 @@ impl ShellActor {
     fn broadcast_failure(&self, kind: FailureKindMsg, ctx: &mut Ctx<'_, CmMsg>) {
         for (&site, &shell) in &self.shells {
             if site != self.site {
-                ctx.send(shell, CmMsg::FailureNotice { site: self.site, kind });
+                ctx.send(
+                    shell,
+                    CmMsg::FailureNotice {
+                        site: self.site,
+                        kind,
+                    },
+                );
             }
         }
     }
@@ -370,7 +546,20 @@ impl ShellActor {
         }
         if escalation {
             // Still unanswered well past the bound: logical failure.
-            self.stats.borrow_mut().logical_failures_detected += 1;
+            self.stats.inc("shell.logical_failures_detected");
+            self.metrics.record(
+                now,
+                Scope::Site(self.site.index()),
+                "shell.failure",
+                [
+                    ("phase", "logical".to_string()),
+                    ("req", req_id.to_string()),
+                ],
+            );
+            if let Some(o) = self.outstanding.get(&req_id) {
+                self.spans.annotate(o.span, "logical-failure");
+                self.spans.end(o.span, now);
+            }
             self.record(
                 now,
                 EventDesc::Custom {
@@ -384,13 +573,24 @@ impl ShellActor {
                 None,
                 None,
             );
-            self.registry.borrow_mut().on_failure(self.site, FailureKind::Logical, now);
+            self.registry
+                .borrow_mut()
+                .on_failure(self.site, FailureKind::Logical, now);
             self.broadcast_failure(FailureKindMsg::Logical, ctx);
         } else {
             if let Some(o) = self.outstanding.get_mut(&req_id) {
                 o.flagged = true;
             }
-            self.stats.borrow_mut().metric_failures_detected += 1;
+            self.stats.inc("shell.metric_failures_detected");
+            self.metrics.record(
+                now,
+                Scope::Site(self.site.index()),
+                "shell.failure",
+                [("phase", "metric".to_string()), ("req", req_id.to_string())],
+            );
+            if let Some(o) = self.outstanding.get(&req_id) {
+                self.spans.annotate(o.span, "metric-failure");
+            }
             self.record(
                 now,
                 EventDesc::Custom {
@@ -404,11 +604,16 @@ impl ShellActor {
                 None,
                 None,
             );
-            self.registry.borrow_mut().on_failure(self.site, FailureKind::Metric, now);
+            self.registry
+                .borrow_mut()
+                .on_failure(self.site, FailureKind::Metric, now);
             self.broadcast_failure(FailureKindMsg::Metric, ctx);
             ctx.schedule_self(
                 self.failure_cfg.escalation,
-                CmMsg::CheckDeadline { req_id, escalation: true },
+                CmMsg::CheckDeadline {
+                    req_id,
+                    escalation: true,
+                },
             );
         }
     }
@@ -416,8 +621,12 @@ impl ShellActor {
     /// Probe the local translator with a cheap meta-request; the normal
     /// deadline machinery turns a missing reply into a failure.
     fn handle_heartbeat(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
-        let Some(period) = self.failure_cfg.heartbeat else { return };
-        let req_id = self.track_request(ctx);
+        let Some(period) = self.failure_cfg.heartbeat else {
+            return;
+        };
+        self.metrics
+            .inc(Scope::Site(self.site.index()), "shell.heartbeats");
+        let req_id = self.track_request(SpanKind::Heartbeat, None, None, ctx);
         let me = ctx.me();
         ctx.send_local(
             self.translator,
@@ -437,16 +646,22 @@ impl ShellActor {
 
     fn handle_rule_tick(&mut self, idx: usize, ctx: &mut Ctx<'_, CmMsg>) {
         let now = ctx.now();
-        let Some(&rule_idx) = self.periodic_rules.get(idx) else { return };
+        let Some(&rule_idx) = self.periodic_rules.get(idx) else {
+            return;
+        };
         let r = &self.rules[rule_idx];
-        let TemplateDesc::P { period } = &r.rule.lhs else { return };
+        let TemplateDesc::P { period } = &r.rule.lhs else {
+            return;
+        };
         let ms = match period {
             hcm_core::Term::Const(Value::Int(ms)) if *ms > 0 => *ms as u64,
             _ => return,
         };
         let rule_id = r.id;
         let cond = r.rule.cond.clone();
-        let desc = EventDesc::P { period: SimDuration::from_millis(ms) };
+        let desc = EventDesc::P {
+            period: SimDuration::from_millis(ms),
+        };
         let p_id = self.record(now, desc, None, None, None);
         // Evaluate the LHS condition and fire the RHS (locally, by
         // construction of periodic-rule placement).
@@ -461,7 +676,7 @@ impl ShellActor {
         if cond_ok {
             self.execute_rhs(rule_id, p_id, bindings, ctx);
         } else {
-            self.stats.borrow_mut().cond_suppressed += 1;
+            self.stats.inc("shell.cond_suppressed");
         }
         if now + SimDuration::from_millis(ms) <= self.stop_periodics_at {
             ctx.schedule_self(SimDuration::from_millis(ms), CmMsg::RuleTick { idx });
@@ -478,10 +693,14 @@ impl Actor<CmMsg> for ShellActor {
         }
         for idx in 0..self.periodic_rules.len() {
             let rule_idx = self.periodic_rules[idx];
-            if let TemplateDesc::P { period: hcm_core::Term::Const(Value::Int(ms @ 1..)) } =
-                &self.rules[rule_idx].rule.lhs
+            if let TemplateDesc::P {
+                period: hcm_core::Term::Const(Value::Int(ms @ 1..)),
+            } = &self.rules[rule_idx].rule.lhs
             {
-                ctx.schedule_self(SimDuration::from_millis(*ms as u64), CmMsg::RuleTick { idx });
+                ctx.schedule_self(
+                    SimDuration::from_millis(*ms as u64),
+                    CmMsg::RuleTick { idx },
+                );
             }
         }
         // Seed initial values of private items into the trace.
@@ -492,12 +711,23 @@ impl Actor<CmMsg> for ShellActor {
 
     fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {
         match msg {
-            CmMsg::Cmi(TranslatorEvent::Notify { item, value, rule, trigger }) => {
+            CmMsg::Cmi(TranslatorEvent::Notify {
+                item,
+                value,
+                rule,
+                trigger,
+            }) => {
                 let desc = EventDesc::N { item, value };
                 let id = self.record(ctx.now(), desc.clone(), None, Some(rule), Some(trigger));
                 self.process_event(id, &desc, ctx);
             }
-            CmMsg::Cmi(TranslatorEvent::ReadResult { req_id, item, value, rule, trigger }) => {
+            CmMsg::Cmi(TranslatorEvent::ReadResult {
+                req_id,
+                item,
+                value,
+                rule,
+                trigger,
+            }) => {
                 self.resolve_request(req_id, ctx);
                 let desc = EventDesc::R { item, value };
                 let id = self.record(ctx.now(), desc.clone(), None, Some(rule), Some(trigger));
@@ -510,10 +740,18 @@ impl Actor<CmMsg> for ShellActor {
             CmMsg::Cmi(TranslatorEvent::Observed { id, desc }) => {
                 self.process_event(id, &desc, ctx);
             }
-            CmMsg::RemoteFire { rule, trigger, bindings } => {
+            CmMsg::RemoteFire {
+                rule,
+                trigger,
+                bindings,
+            } => {
                 self.execute_rhs(rule, trigger, bindings, ctx);
             }
-            CmMsg::Custom { desc, rule, trigger } => {
+            CmMsg::Custom {
+                desc,
+                rule,
+                trigger,
+            } => {
                 let id = self.record(ctx.now(), desc.clone(), None, rule, trigger);
                 self.process_event(id, &desc, ctx);
             }
@@ -531,7 +769,10 @@ impl Actor<CmMsg> for ShellActor {
                     FailureKindMsg::Cleared => reg.on_clear(site, now),
                 }
             }
-            other => panic!("shell at {} received unexpected message {other:?}", self.site),
+            other => panic!(
+                "shell at {} received unexpected message {other:?}",
+                self.site
+            ),
         }
     }
 }

@@ -24,17 +24,17 @@ use hcm_core::{
     Bindings, EventDesc, EventId, ItemId, RuleId, SimDuration, SimTime, SiteId, TemplateDesc,
     TraceRecorder, Value,
 };
+use hcm_obs::{Metrics, Scope};
 use hcm_rulelang::ast::BindingsEnv;
 use hcm_rulelang::InterfaceStmt;
 use hcm_simkit::{Actor, ActorId, Ctx};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Delay for forwarding an observed event to the co-located shell.
 const FORWARD_DELAY: SimDuration = SimDuration::from_millis(1);
 
-/// Observable counters, shared with the scenario for experiment
-/// measurement (E8/E9 count messages; E7 counts rejections).
+/// Observable counters for experiment measurement (E8/E9 count
+/// messages; E7 counts rejections), materialized from the metrics
+/// registry.
 #[derive(Debug, Default, Clone)]
 pub struct TranslatorStats {
     /// Notifications sent to the shell.
@@ -55,6 +55,56 @@ pub struct TranslatorStats {
     pub prohibition_violations: u64,
 }
 
+/// Registry-backed view of one translator's counters.
+///
+/// Counters live in the shared [`Metrics`] registry under
+/// `Scope::Site`; `borrow()` materializes an owned
+/// [`TranslatorStats`] snapshot so `stats.borrow().notifications`
+/// call sites read naturally.
+#[derive(Debug, Clone)]
+pub struct TranslatorStatsHandle {
+    metrics: Metrics,
+    scope: Scope,
+}
+
+impl TranslatorStatsHandle {
+    /// View over `site`'s translator metrics in `metrics`.
+    #[must_use]
+    pub fn new(metrics: Metrics, site: SiteId) -> Self {
+        TranslatorStatsHandle {
+            metrics,
+            scope: Scope::Site(site.index()),
+        }
+    }
+
+    fn inc(&self, name: &str) {
+        self.metrics.inc(self.scope, name);
+    }
+
+    fn get(&self, name: &str) -> u64 {
+        self.metrics.counter(self.scope, name)
+    }
+
+    fn observe_service(&self, d: SimDuration) {
+        self.metrics
+            .observe(self.scope, "translator.service_delay", d);
+    }
+
+    /// Snapshot the counters as an owned [`TranslatorStats`].
+    #[must_use]
+    pub fn borrow(&self) -> TranslatorStats {
+        TranslatorStats {
+            notifications: self.get("translator.notifications"),
+            suppressed: self.get("translator.suppressed"),
+            writes_rejected: self.get("translator.writes_rejected"),
+            writes_done: self.get("translator.writes_done"),
+            reads_served: self.get("translator.reads_served"),
+            spontaneous_errors: self.get("translator.spontaneous_errors"),
+            prohibition_violations: self.get("translator.prohibition_violations"),
+        }
+    }
+}
+
 struct IfaceRule {
     stmt: InterfaceStmt,
     class: IfaceClass,
@@ -72,7 +122,7 @@ pub struct TranslatorActor {
     extra: SimDuration,
     stop_periodics_at: SimTime,
     recorder: TraceRecorder,
-    stats: Rc<RefCell<TranslatorStats>>,
+    stats: TranslatorStatsHandle,
 }
 
 impl TranslatorActor {
@@ -89,7 +139,7 @@ impl TranslatorActor {
         interest: Vec<TemplateDesc>,
         stop_periodics_at: SimTime,
         recorder: TraceRecorder,
-        stats: Rc<RefCell<TranslatorStats>>,
+        stats: TranslatorStatsHandle,
     ) -> Self {
         assert_eq!(rid.interfaces.len(), iface_ids.len());
         let interfaces = rid
@@ -160,7 +210,8 @@ impl TranslatorActor {
         rule: Option<RuleId>,
         trigger: Option<EventId>,
     ) -> EventId {
-        self.recorder.record(now, self.site, desc, old, rule, trigger)
+        self.recorder
+            .record(now, self.site, desc, old, rule, trigger)
     }
 
     /// Forward an event to the shell when an interest pattern matches.
@@ -170,7 +221,10 @@ impl TranslatorActor {
             if pat.match_desc(desc, &mut b) {
                 ctx.send_local(
                     self.shell,
-                    CmMsg::Cmi(TranslatorEvent::Observed { id, desc: desc.clone() }),
+                    CmMsg::Cmi(TranslatorEvent::Observed {
+                        id,
+                        desc: desc.clone(),
+                    }),
                     FORWARD_DELAY,
                 );
                 return;
@@ -183,7 +237,7 @@ impl TranslatorActor {
         let changes = match self.backend.apply_spontaneous(op, now) {
             Ok(c) => c,
             Err(_) => {
-                self.stats.borrow_mut().spontaneous_errors += 1;
+                self.stats.inc("translator.spontaneous_errors");
                 return;
             }
         };
@@ -202,7 +256,7 @@ impl TranslatorActor {
                 if iface.class == IfaceClass::Prohibition {
                     let mut b = Bindings::new();
                     if iface.stmt.lhs.match_desc(&desc, &mut b) {
-                        self.stats.borrow_mut().prohibition_violations += 1;
+                        self.stats.inc("translator.prohibition_violations");
                     }
                 }
             }
@@ -229,19 +283,24 @@ impl TranslatorActor {
                     lookup: |item: &ItemId| backend.read(item).ok(),
                 };
                 if !iface.stmt.cond.eval(&env) {
-                    self.stats.borrow_mut().suppressed += 1;
+                    self.stats.inc("translator.suppressed");
                     continue;
                 }
-                if let Some(EventDesc::N { item, value }) = iface.stmt.rhs.instantiate(&bindings)
-                {
+                if let Some(EventDesc::N { item, value }) = iface.stmt.rhs.instantiate(&bindings) {
                     to_send.push((item, value, iface.id));
                 }
             }
             for (item, value, rule) in to_send {
-                self.stats.borrow_mut().notifications += 1;
+                self.stats.inc("translator.notifications");
+                self.stats.observe_service(self.delay());
                 ctx.send_local(
                     self.shell,
-                    CmMsg::Cmi(TranslatorEvent::Notify { item, value, rule, trigger: ws_id }),
+                    CmMsg::Cmi(TranslatorEvent::Notify {
+                        item,
+                        value,
+                        rule,
+                        trigger: ws_id,
+                    }),
                     self.delay(),
                 );
             }
@@ -269,14 +328,18 @@ impl TranslatorActor {
         ctx: &mut Ctx<'_, CmMsg>,
     ) {
         let now = ctx.now();
+        self.stats.observe_service(self.delay());
         match kind {
             RequestKind::Write(item, value) => {
-                let desc = EventDesc::Wr { item: item.clone(), value: value.clone() };
+                let desc = EventDesc::Wr {
+                    item: item.clone(),
+                    value: value.clone(),
+                };
                 let wr_id = self.record(now, desc.clone(), None, rule, trigger);
                 self.forward_if_interesting(wr_id, &desc, ctx);
                 let Some(iface) = self.find_iface(IfaceClass::Write, item) else {
                     // No write interface offered: refuse immediately.
-                    self.stats.borrow_mut().writes_rejected += 1;
+                    self.stats.inc("translator.writes_rejected");
                     ctx.send_local(
                         reply_to,
                         CmMsg::Cmi(TranslatorEvent::WriteDone { req_id, ok: false }),
@@ -318,7 +381,7 @@ impl TranslatorActor {
                     return; // no read interface: request goes unanswered
                 };
                 let value = self.backend.read(item).unwrap_or(Value::Null);
-                self.stats.borrow_mut().reads_served += 1;
+                self.stats.inc("translator.reads_served");
                 ctx.send_local(
                     reply_to,
                     CmMsg::Cmi(TranslatorEvent::ReadResult {
@@ -348,10 +411,13 @@ impl TranslatorActor {
         let now = ctx.now();
         match self.backend.write(item, value, now) {
             Ok(old) => {
-                let desc = EventDesc::W { item: item.clone(), value: value.clone() };
+                let desc = EventDesc::W {
+                    item: item.clone(),
+                    value: value.clone(),
+                };
                 let w_id = self.record(now, desc.clone(), old, Some(rule), Some(trigger));
                 self.forward_if_interesting(w_id, &desc, ctx);
-                self.stats.borrow_mut().writes_done += 1;
+                self.stats.inc("translator.writes_done");
                 ctx.send_local(
                     reply_to,
                     CmMsg::Cmi(TranslatorEvent::WriteDone { req_id, ok: true }),
@@ -359,7 +425,7 @@ impl TranslatorActor {
                 );
             }
             Err(_) => {
-                self.stats.borrow_mut().writes_rejected += 1;
+                self.stats.inc("translator.writes_rejected");
                 self.record(
                     now,
                     EventDesc::Custom {
@@ -381,22 +447,36 @@ impl TranslatorActor {
 
     fn handle_poll_tick(&mut self, idx: usize, ctx: &mut Ctx<'_, CmMsg>) {
         let now = ctx.now();
-        let Some(iface) = self.interfaces.get(idx) else { return };
-        let TemplateDesc::P { period } = &iface.stmt.lhs else { return };
-        let Some(period_ms) = period_millis(period) else { return };
+        let Some(iface) = self.interfaces.get(idx) else {
+            return;
+        };
+        let TemplateDesc::P { period } = &iface.stmt.lhs else {
+            return;
+        };
+        let Some(period_ms) = period_millis(period) else {
+            return;
+        };
         let p_id = self.record(
             now,
-            EventDesc::P { period: SimDuration::from_millis(period_ms) },
+            EventDesc::P {
+                period: SimDuration::from_millis(period_ms),
+            },
             None,
             None,
             None,
         );
         // Instantiate the N template for every currently existing item.
-        if let TemplateDesc::N { item: item_pat, value: value_term } = &iface.stmt.rhs {
+        if let TemplateDesc::N {
+            item: item_pat,
+            value: value_term,
+        } = &iface.stmt.rhs
+        {
             let items = self.backend.enumerate(item_pat);
             let mut to_send = Vec::new();
             for item in items {
-                let Ok(value) = self.backend.read(&item) else { continue };
+                let Ok(value) = self.backend.read(&item) else {
+                    continue;
+                };
                 let mut bindings = Bindings::new();
                 if !item_pat.match_item(&item, &mut bindings) {
                     continue;
@@ -410,16 +490,22 @@ impl TranslatorActor {
                     lookup: |i: &ItemId| backend.read(i).ok(),
                 };
                 if !iface.stmt.cond.eval(&env) {
-                    self.stats.borrow_mut().suppressed += 1;
+                    self.stats.inc("translator.suppressed");
                     continue;
                 }
                 to_send.push((item, value, iface.id));
             }
             for (item, value, rule) in to_send {
-                self.stats.borrow_mut().notifications += 1;
+                self.stats.inc("translator.notifications");
+                self.stats.observe_service(self.delay());
                 ctx.send_local(
                     self.shell,
-                    CmMsg::Cmi(TranslatorEvent::Notify { item, value, rule, trigger: p_id }),
+                    CmMsg::Cmi(TranslatorEvent::Notify {
+                        item,
+                        value,
+                        rule,
+                        trigger: p_id,
+                    }),
                     self.delay(),
                 );
             }
@@ -445,15 +531,27 @@ impl Actor<CmMsg> for TranslatorActor {
     fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {
         match msg {
             CmMsg::Spontaneous(op) => self.handle_spontaneous(&op, ctx),
-            CmMsg::Request { req_id, reply_to, rule, trigger, kind } => {
-                self.handle_request(req_id, reply_to, rule, trigger, &kind, ctx)
-            }
-            CmMsg::PerformWrite { req_id, reply_to, item, value, rule, trigger } => {
-                self.handle_perform_write(req_id, reply_to, &item, &value, rule, trigger, ctx)
-            }
+            CmMsg::Request {
+                req_id,
+                reply_to,
+                rule,
+                trigger,
+                kind,
+            } => self.handle_request(req_id, reply_to, rule, trigger, &kind, ctx),
+            CmMsg::PerformWrite {
+                req_id,
+                reply_to,
+                item,
+                value,
+                rule,
+                trigger,
+            } => self.handle_perform_write(req_id, reply_to, &item, &value, rule, trigger, ctx),
             CmMsg::PollTick { idx } => self.handle_poll_tick(idx, ctx),
             CmMsg::SetServiceExtra(d) => self.extra = d,
-            other => panic!("translator at {} received unexpected message {other:?}", self.site),
+            other => panic!(
+                "translator at {} received unexpected message {other:?}",
+                self.site
+            ),
         }
     }
 }

@@ -10,7 +10,7 @@ use hcm_simkit::{Actor, ActorId, Ctx, Sim};
 use hcm_toolkit::backends::{build_backend, RawStore};
 use hcm_toolkit::msg::{CmMsg, RequestKind, SpontaneousOp, TranslatorEvent};
 use hcm_toolkit::rid::CmRid;
-use hcm_toolkit::translator::{TranslatorActor, TranslatorStats};
+use hcm_toolkit::translator::{TranslatorActor, TranslatorStatsHandle};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -52,7 +52,7 @@ struct Rig {
     probe: ActorId,
     log: Rc<RefCell<Vec<(SimTime, TranslatorEvent)>>>,
     recorder: TraceRecorder,
-    stats: Rc<RefCell<TranslatorStats>>,
+    stats: TranslatorStatsHandle,
 }
 
 fn rig(interest: Vec<TemplateDesc>) -> Rig {
@@ -61,13 +61,16 @@ fn rig(interest: Vec<TemplateDesc>) -> Rig {
     db.execute("insert into t values ('e1', 10)").unwrap();
     let rid = CmRid::parse(RID).unwrap();
     let mut registry = RuleRegistry::new();
-    let iface_ids: Vec<_> =
-        rid.interfaces.iter().map(|s| registry.register(s.to_string())).collect();
+    let iface_ids: Vec<_> = rid
+        .interfaces
+        .iter()
+        .map(|s| registry.register(s.to_string()))
+        .collect();
     let recorder = TraceRecorder::new();
-    let stats = Rc::new(RefCell::new(TranslatorStats::default()));
     let log = Rc::new(RefCell::new(Vec::new()));
 
     let mut sim = Sim::new(1);
+    let stats = TranslatorStatsHandle::new(sim.obs().metrics, SiteId::new(0));
     let probe = sim.add_actor(Box::new(Probe { log: log.clone() }));
     let t = TranslatorActor::new(
         SiteId::new(0),
@@ -81,7 +84,14 @@ fn rig(interest: Vec<TemplateDesc>) -> Rig {
         stats.clone(),
     );
     let translator = sim.add_actor(Box::new(t));
-    Rig { sim, translator, probe, log, recorder, stats }
+    Rig {
+        sim,
+        translator,
+        probe,
+        log,
+        recorder,
+        stats,
+    }
 }
 
 fn e1() -> ItemId {
@@ -113,14 +123,23 @@ fn write_request_performs_within_service_delay_and_acks() {
     r.sim.run_to_quiescence();
     let log = r.log.borrow();
     let (at, ev) = &log[0];
-    assert_eq!(ev, &TranslatorEvent::WriteDone { req_id: 7, ok: true });
+    assert_eq!(
+        ev,
+        &TranslatorEvent::WriteDone {
+            req_id: 7,
+            ok: true
+        }
+    );
     // service 100ms + forward 1ms.
     assert_eq!(*at, SimTime::from_millis(1_101));
     drop(log);
     let trace = r.recorder.snapshot();
     let tags: Vec<&str> = trace.events().iter().map(|e| e.desc.tag()).collect();
     assert_eq!(tags, vec!["WR", "W"]);
-    assert_eq!(trace.value_at(&e1(), trace.end_time()), Some(Value::Int(20)));
+    assert_eq!(
+        trace.value_at(&e1(), trace.end_time()),
+        Some(Value::Int(20))
+    );
     assert_eq!(r.stats.borrow().writes_done, 1);
 }
 
@@ -141,7 +160,12 @@ fn read_request_returns_current_value() {
     r.sim.run_to_quiescence();
     let log = r.log.borrow();
     match &log[0].1 {
-        TranslatorEvent::ReadResult { req_id, item, value, .. } => {
+        TranslatorEvent::ReadResult {
+            req_id,
+            item,
+            value,
+            ..
+        } => {
             assert_eq!(*req_id, 9);
             assert_eq!(item, &e1());
             assert_eq!(value, &Value::Int(10));
@@ -178,7 +202,9 @@ fn spontaneous_change_notifies_within_bound() {
     r.sim.inject_at(
         SimTime::from_secs(5),
         r.translator,
-        CmMsg::Spontaneous(SpontaneousOp::Sql("update t set v = 11 where k = 'e1'".into())),
+        CmMsg::Spontaneous(SpontaneousOp::Sql(
+            "update t set v = 11 where k = 'e1'".into(),
+        )),
     );
     r.sim.run_to_quiescence();
     let log = r.log.borrow();
@@ -215,7 +241,11 @@ fn overload_injection_delays_service() {
     );
     r.sim.run_to_quiescence();
     let log = r.log.borrow();
-    assert!(log[0].0 >= SimTime::from_secs(11), "overload must delay the ack: {}", log[0].0);
+    assert!(
+        log[0].0 >= SimTime::from_secs(11),
+        "overload must delay the ack: {}",
+        log[0].0
+    );
 }
 
 #[test]
@@ -230,13 +260,17 @@ fn interest_patterns_forward_observed_events() {
     r.sim.inject_at(
         SimTime::from_secs(1),
         r.translator,
-        CmMsg::Spontaneous(SpontaneousOp::Sql("update t set v = 12 where k = 'e1'".into())),
+        CmMsg::Spontaneous(SpontaneousOp::Sql(
+            "update t set v = 12 where k = 'e1'".into(),
+        )),
     );
     r.sim.run_to_quiescence();
     let log = r.log.borrow();
     assert!(
-        log.iter().any(|(_, ev)| matches!(ev, TranslatorEvent::Observed { desc, .. }
-            if matches!(desc, EventDesc::Ws { .. }))),
+        log.iter().any(
+            |(_, ev)| matches!(ev, TranslatorEvent::Observed { desc, .. }
+            if matches!(desc, EventDesc::Ws { .. }))
+        ),
         "Ws must be forwarded: {log:#?}"
     );
 }

@@ -21,11 +21,11 @@ fn hhmm(secs: u64) -> String {
 }
 
 fn main() {
-    let accounts: Vec<(String, i64)> =
-        (0..5).map(|i| (format!("acct{i}"), 1_000 * (i as i64 + 1))).collect();
+    let accounts: Vec<(String, i64)> = (0..5)
+        .map(|i| (format!("acct{i}"), 1_000 * (i as i64 + 1)))
+        .collect();
     let refs: Vec<(&str, i64)> = accounts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-    let mut bank =
-        hcm::protocols::periodic::build(3, &refs, &[SimTime::from_secs(clock::FIVE_PM)]);
+    let mut bank = hcm::protocols::periodic::build(3, &refs, &[SimTime::from_secs(clock::FIVE_PM)]);
 
     // A day of branch activity, strictly inside banking hours.
     let mut rng = SimRng::seeded(99);
@@ -37,7 +37,10 @@ fn main() {
         updates.push((t, acct.clone(), v));
     }
     updates.sort();
-    println!("── Branch activity ({} updates) ──────────────────────────────", updates.len());
+    println!(
+        "── Branch activity ({} updates) ──────────────────────────────",
+        updates.len()
+    );
     for (t, acct, v) in &updates {
         println!("  {} {} ← {v}", hhmm(*t), acct);
         bank.branch_update(SimTime::from_secs(*t), acct, *v);
@@ -54,13 +57,15 @@ fn main() {
     let finish = bank.stats.borrow().last_finish.expect("batch ran");
     println!("\n── End-of-day batch ───────────────────────────────────────────");
     println!("  started  {}", hhmm(clock::FIVE_PM));
-    println!("  finished {} ({} balances propagated)", hhmm(finish.as_secs()), bank.stats.borrow().propagated);
+    println!(
+        "  finished {} ({} balances propagated)",
+        hhmm(finish.as_secs()),
+        bank.stats.borrow().propagated
+    );
 
     println!("\n── Periodic guarantee ─────────────────────────────────────────");
-    let night = BankScenario::night_guarantee(
-        clock::FIVE_FIFTEEN_PM * 1000,
-        clock::EIGHT_AM_NEXT * 1000,
-    );
+    let night =
+        BankScenario::night_guarantee(clock::FIVE_FIFTEEN_PM * 1000, clock::EIGHT_AM_NEXT * 1000);
     let r = check_guarantee(&trace, &night, None);
     println!(
         "  balances agree {} → {} next day: {:?} ({} instantiations)",
@@ -69,10 +74,7 @@ fn main() {
         r.outcome(),
         r.instantiations
     );
-    let allday = BankScenario::night_guarantee(
-        clock::NINE_AM * 1000,
-        clock::EIGHT_AM_NEXT * 1000,
-    );
+    let allday = BankScenario::night_guarantee(clock::NINE_AM * 1000, clock::EIGHT_AM_NEXT * 1000);
     println!(
         "  …but over the whole day: {:?} (consistency is genuinely periodic)",
         check_guarantee(&trace, &allday, None).outcome()
@@ -81,8 +83,14 @@ fn main() {
     println!("\n── Overnight head-office view ─────────────────────────────────");
     let midnight = SimTime::from_secs(24 * 3600);
     for (name, _) in &accounts {
-        let br = trace.value_at(&ItemId::with("bbal", [Value::from(name.as_str())]), midnight);
-        let hq = trace.value_at(&ItemId::with("hbal", [Value::from(name.as_str())]), midnight);
+        let br = trace.value_at(
+            &ItemId::with("bbal", [Value::from(name.as_str())]),
+            midnight,
+        );
+        let hq = trace.value_at(
+            &ItemId::with("hbal", [Value::from(name.as_str())]),
+            midnight,
+        );
         println!("  {name}: branch = {br:?}, head office = {hq:?}");
         assert_eq!(br, hq);
     }

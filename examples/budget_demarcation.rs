@@ -33,13 +33,20 @@ fn workload(seed: u64, n: usize) -> Vec<(SimTime, bool, i64)> {
 
 fn main() {
     let ops = workload(2024, 120);
-    println!("workload: {} updates (spend increases + budget cuts)\n", ops.len());
+    println!(
+        "workload: {} updates (spend increases + budget cuts)\n",
+        ops.len()
+    );
     println!(
         "{:<14} {:>6} {:>8} {:>8} {:>8} {:>10} {:>10}",
         "policy", "ok", "local", "granted", "denied", "limit-reqs", "messages"
     );
 
-    for policy in [GrantPolicy::Requested, GrantPolicy::HalfAvailable, GrantPolicy::All] {
+    for policy in [
+        GrantPolicy::Requested,
+        GrantPolicy::HalfAvailable,
+        GrantPolicy::All,
+    ] {
         let mut d = demarcation::build(DemarcConfig {
             seed: 1,
             x0: 0,
@@ -73,8 +80,8 @@ fn main() {
     }
     t2.run();
     let st = t2.stats.borrow();
-    let avg_latency = st.latencies_ms.iter().sum::<u64>() as f64
-        / st.latencies_ms.len().max(1) as f64;
+    let avg_latency =
+        st.latencies_ms.iter().sum::<u64>() as f64 / st.latencies_ms.len().max(1) as f64;
     println!(
         "{:<14} {:>6} {:>8} {:>8} {:>8} {:>10} {:>10}",
         "2PC baseline",

@@ -106,9 +106,12 @@ fn main() {
     let mut hr = hcm::ris::relational::Database::new();
     hr.create_table("wphones", &["name", "phone"]).unwrap();
     hr.create_table("lphones", &["name", "phone"]).unwrap();
-    hr.execute("insert into wphones values ('hector', '415-1001')").unwrap();
-    hr.execute("insert into wphones values ('jennifer', '415-1002')").unwrap();
-    hr.execute("insert into lphones values ('chaw', '415-2001')").unwrap();
+    hr.execute("insert into wphones values ('hector', '415-1001')")
+        .unwrap();
+    hr.execute("insert into wphones values ('jennifer', '415-1002')")
+        .unwrap();
+    hr.execute("insert into lphones values ('chaw', '415-2001')")
+        .unwrap();
 
     let mut biblio = hcm::ris::biblio::BiblioDb::new();
     biblio.append("widom", "Active Database Systems", 1994);
@@ -145,7 +148,10 @@ fn main() {
     sc.inject(
         SimTime::from_secs(150),
         "LOOKUP",
-        SpontaneousOp::KvPut { key: "phone/chaw".into(), value: Value::from("415-2999") },
+        SpontaneousOp::KvPut {
+            key: "phone/chaw".into(),
+            value: Value::from("415-2999"),
+        },
     );
     sc.inject(
         SimTime::from_secs(200),
@@ -159,7 +165,10 @@ fn main() {
     sc.run_to_quiescence();
     let trace = sc.trace();
 
-    println!("\n── Trace ({} events) ──────────────────────────────────────────", trace.len());
+    println!(
+        "\n── Trace ({} events) ──────────────────────────────────────────",
+        trace.len()
+    );
     for e in trace.events().iter().take(40) {
         println!("  {e}");
     }
@@ -201,8 +210,14 @@ fn main() {
 
     println!("\n── Final mirrors ──────────────────────────────────────────────");
     for (item, label) in [
-        (ItemId::with("wmirror", [Value::from("hector")]), "hector (whois)"),
-        (ItemId::with("lmirror", [Value::from("chaw")]), "chaw (lookup)"),
+        (
+            ItemId::with("wmirror", [Value::from("hector")]),
+            "hector (whois)",
+        ),
+        (
+            ItemId::with("lmirror", [Value::from("chaw")]),
+            "chaw (lookup)",
+        ),
     ] {
         println!("  {label}: {:?}", trace.value_at(&item, trace.end_time()));
     }

@@ -12,6 +12,7 @@
 
 use hcm::checker::{check_validity, guarantee::check_guarantee, RuleSet};
 use hcm::core::{ItemId, SimDuration, SimTime, Value};
+use hcm::obs::{causal_chain, render_chain};
 use hcm::rulelang::parse_guarantee;
 use hcm::toolkit::backends::RawStore;
 use hcm::toolkit::menu;
@@ -68,7 +69,8 @@ fn employees(rows: &[(&str, i64)]) -> hcm::ris::relational::Database {
     let mut db = hcm::ris::relational::Database::new();
     db.create_table("employees", &["empid", "salary"]).unwrap();
     for (id, v) in rows {
-        db.execute(&format!("INSERT INTO employees VALUES ('{id}', {v})")).unwrap();
+        db.execute(&format!("INSERT INTO employees VALUES ('{id}', {v})"))
+            .unwrap();
     }
     db
 }
@@ -85,7 +87,10 @@ fn print_topology(sc: &Scenario) {
     }
     println!("  strategy rules:");
     for r in &sc.strategy.rules {
-        println!("    {} @ LHS {} / RHS {}: {}", r.id, r.lhs_site, r.rhs_site, r.rule);
+        println!(
+            "    {} @ LHS {} / RHS {}: {}",
+            r.id, r.lhs_site, r.rhs_site, r.rule
+        );
     }
     println!();
 }
@@ -93,20 +98,16 @@ fn print_topology(sc: &Scenario) {
 fn main() {
     // 1. The suggestion engine (§4.1): given the two sites' interfaces,
     //    which proven strategies apply, and with which guarantees?
-    let src = vec![
-        hcm::rulelang::parse_interface(&menu::interfaces::notify(
-            "salary1(n)",
-            SimDuration::from_secs(2),
-        ))
-        .unwrap(),
-    ];
-    let dst = vec![
-        hcm::rulelang::parse_interface(&menu::interfaces::write(
-            "salary2(n)",
-            SimDuration::from_secs(1),
-        ))
-        .unwrap(),
-    ];
+    let src = vec![hcm::rulelang::parse_interface(&menu::interfaces::notify(
+        "salary1(n)",
+        SimDuration::from_secs(2),
+    ))
+    .unwrap()];
+    let dst = vec![hcm::rulelang::parse_interface(&menu::interfaces::write(
+        "salary2(n)",
+        SimDuration::from_secs(1),
+    ))
+    .unwrap()];
     println!("── Menu suggestions ────────────────────────────────────────────");
     for s in menu::suggest_copy_strategies(
         "salary1(n)",
@@ -116,7 +117,10 @@ fn main() {
         SimDuration::from_secs(60),
         SimDuration::from_secs(5),
     ) {
-        println!("  strategy `{}` — proven guarantees: {:?}", s.name, s.valid_guarantees);
+        println!(
+            "  strategy `{}` — proven guarantees: {:?}",
+            s.name, s.valid_guarantees
+        );
         for r in &s.rules {
             println!("    {r}");
         }
@@ -125,16 +129,28 @@ fn main() {
 
     // 2. Build and run the deployment.
     let mut sc = ScenarioBuilder::new(42)
-        .site("A", RawStore::Relational(employees(&[("e1", 90_000), ("e2", 70_000)])), RID_SF)
+        .site(
+            "A",
+            RawStore::Relational(employees(&[("e1", 90_000), ("e2", 70_000)])),
+            RID_SF,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees(&[("e1", 90_000), ("e2", 70_000)])), RID_NY)
+        .site(
+            "B",
+            RawStore::Relational(employees(&[("e1", 90_000), ("e2", 70_000)])),
+            RID_NY,
+        )
         .unwrap()
         .strategy(STRATEGY)
         .build()
         .unwrap();
     print_topology(&sc);
 
-    for (t, id, v) in [(10u64, "e1", 95_000i64), (40, "e2", 71_000), (70, "e1", 99_000)] {
+    for (t, id, v) in [
+        (10u64, "e1", 95_000i64),
+        (40, "e2", 71_000),
+        (70, "e1", 99_000),
+    ] {
         sc.inject(
             SimTime::from_secs(t),
             "A",
@@ -146,7 +162,10 @@ fn main() {
     sc.run_to_quiescence();
     let trace = sc.trace();
 
-    println!("── Recorded execution ({} events) ─────────────────────────────", trace.len());
+    println!(
+        "── Recorded execution ({} events) ─────────────────────────────",
+        trace.len()
+    );
     print!("{trace}");
     println!();
 
@@ -168,10 +187,16 @@ fn main() {
         validity.obligations_checked
     );
     for g in [
-        parse_guarantee("follows", "(salary2(n) = y) @ t1 => (salary1(n) = y) @ t2 and t2 <= t1")
-            .unwrap(),
-        parse_guarantee("leads", "(salary1(n) = x) @ t1 => (salary2(n) = x) @ t2 and t2 >= t1")
-            .unwrap(),
+        parse_guarantee(
+            "follows",
+            "(salary2(n) = y) @ t1 => (salary1(n) = y) @ t2 and t2 <= t1",
+        )
+        .unwrap(),
+        parse_guarantee(
+            "leads",
+            "(salary1(n) = x) @ t1 => (salary2(n) = x) @ t2 and t2 >= t1",
+        )
+        .unwrap(),
         parse_guarantee(
             "follows_metric(κ=10s)",
             "(salary2(n) = y) @ t1 => (salary1(n) = y) @ t2 and t1 - 10s < t2 and t2 <= t1",
@@ -190,8 +215,32 @@ fn main() {
     // 4. Final state agreement.
     println!("\n── Final state ─────────────────────────────────────────────────");
     for id in ["e1", "e2"] {
-        let a = trace.value_at(&ItemId::with("salary1", [Value::from(id)]), trace.end_time());
-        let b = trace.value_at(&ItemId::with("salary2", [Value::from(id)]), trace.end_time());
+        let a = trace.value_at(
+            &ItemId::with("salary1", [Value::from(id)]),
+            trace.end_time(),
+        );
+        let b = trace.value_at(
+            &ItemId::with("salary2", [Value::from(id)]),
+            trace.end_time(),
+        );
         println!("  {id}: SF = {a:?}, NY = {b:?}");
     }
+
+    // 5. Observability: the run's metrics snapshot (deterministic per
+    //    seed — run twice and diff) and the causal chain of the last
+    //    write landing at NY, walked back to the spontaneous update
+    //    that caused it.
+    println!("\n── Metrics (hcm-obs registry) ──────────────────────────────────");
+    print!("{}", sc.metrics_table());
+    let w = trace
+        .events()
+        .iter()
+        .rfind(|e| e.desc.tag() == "W")
+        .expect("a write landed at NY");
+    let chain = causal_chain(&trace, w.id);
+    println!(
+        "\n── Causality: how did {} come to be? ──────────────────────────",
+        w.desc
+    );
+    print!("{}", render_chain(&trace, &chain));
 }

@@ -62,5 +62,9 @@ pub fn post_mortem(scenario: &Scenario) -> PostMortem {
         .iter()
         .map(|g| check_guarantee(&trace, g, None))
         .collect();
-    PostMortem { trace, validity, guarantees }
+    PostMortem {
+        trace,
+        validity,
+        guarantees,
+    }
 }

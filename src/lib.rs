@@ -17,6 +17,8 @@
 //! * [`checker`] — mechanical validity and guarantee checking.
 //! * [`protocols`] — demarcation, polling, caching, monitor,
 //!   referential integrity, periodic propagation, and the 2PC baseline.
+//! * [`obs`] — deterministic sim-time observability: metrics registry,
+//!   causal rule-firing spans, snapshot exporters.
 //! * [`harness`] — toolkit↔checker glue: build a rule set from a
 //!   scenario, run the standard post-mortem.
 
@@ -24,6 +26,7 @@ pub mod harness;
 
 pub use hcm_checker as checker;
 pub use hcm_core as core;
+pub use hcm_obs as obs;
 pub use hcm_protocols as protocols;
 pub use hcm_ris as ris;
 pub use hcm_rulelang as rulelang;

@@ -10,7 +10,8 @@ pub fn employees_db(rows: &[(&str, i64)]) -> hcm::ris::relational::Database {
     let mut db = hcm::ris::relational::Database::new();
     db.create_table("employees", &["empid", "salary"]).unwrap();
     for (id, v) in rows {
-        db.execute(&format!("INSERT INTO employees VALUES ('{id}', {v})")).unwrap();
+        db.execute(&format!("INSERT INTO employees VALUES ('{id}', {v})"))
+            .unwrap();
     }
     db
 }

@@ -63,22 +63,14 @@ fn engine_traces_are_valid_across_seeds() {
         let trace = sc.trace();
         assert!(trace.len() > 40, "seed {seed}: workload too small");
         let report = check_validity(&trace, &rule_set_of(&sc));
-        assert!(
-            report.is_valid(),
-            "seed {seed}: {:#?}",
-            report.violations
-        );
+        assert!(report.is_valid(), "seed {seed}: {:#?}", report.violations);
         assert!(report.obligations_checked > 20);
     }
 }
 
 /// Rebuild a trace with one surgical corruption applied by `f` to the
 /// event at `idx` (f returns the replacement fields).
-fn corrupt(
-    trace: &Trace,
-    idx: usize,
-    f: impl Fn(&hcm::core::Event) -> hcm::core::Event,
-) -> Trace {
+fn corrupt(trace: &Trace, idx: usize, f: impl Fn(&hcm::core::Event) -> hcm::core::Event) -> Trace {
     let mut out = Trace::new();
     for item in trace.items() {
         if let Some(v) = trace.initial(&item) {
@@ -87,7 +79,14 @@ fn corrupt(
     }
     for (i, e) in trace.events().iter().enumerate() {
         let e = if i == idx { f(e) } else { e.clone() };
-        out.push(e.time, e.site, e.desc.clone(), e.old_value.clone(), e.rule, e.trigger);
+        out.push(
+            e.time,
+            e.site,
+            e.desc.clone(),
+            e.old_value.clone(),
+            e.rule,
+            e.trigger,
+        );
     }
     out
 }
@@ -100,9 +99,21 @@ fn seeded_corruptions_are_each_caught() {
     assert!(check_validity(&trace, &rules).is_valid());
 
     // Find interesting event positions.
-    let n_pos = trace.events().iter().position(|e| e.desc.tag() == "N").unwrap();
-    let w_pos = trace.events().iter().position(|e| e.desc.tag() == "W").unwrap();
-    let ws_pos = trace.events().iter().position(|e| e.desc.tag() == "Ws").unwrap();
+    let n_pos = trace
+        .events()
+        .iter()
+        .position(|e| e.desc.tag() == "N")
+        .unwrap();
+    let w_pos = trace
+        .events()
+        .iter()
+        .position(|e| e.desc.tag() == "W")
+        .unwrap();
+    let ws_pos = trace
+        .events()
+        .iter()
+        .position(|e| e.desc.tag() == "Ws")
+        .unwrap();
 
     // P2: lie about a write's old value.
     let t2 = corrupt(&trace, w_pos, |e| {
@@ -148,7 +159,10 @@ fn seeded_corruptions_are_each_caught() {
     let r_late = check_validity(&late, &rules);
     assert!(!r_late.violations.is_empty());
     assert!(
-        r_late.violations.iter().any(|v| v.property == 5 || v.property == 1),
+        r_late
+            .violations
+            .iter()
+            .any(|v| v.property == 5 || v.property == 1),
         "{:#?}",
         r_late.violations
     );
@@ -166,10 +180,20 @@ fn seeded_corruptions_are_each_caught() {
         }
         // Retarget triggers that pointed at skipped/renumbered events:
         // keep ids stable by re-pushing descriptors only when safe.
-        dropped.push(e.time, e.site, e.desc.clone(), e.old_value.clone(), e.rule, e.trigger);
+        dropped.push(
+            e.time,
+            e.site,
+            e.desc.clone(),
+            e.old_value.clone(),
+            e.rule,
+            e.trigger,
+        );
     }
     let r6 = check_validity(&dropped, &rules);
-    assert!(!r6.violations.is_empty(), "dropped notification must be caught");
+    assert!(
+        !r6.violations.is_empty(),
+        "dropped notification must be caught"
+    );
 }
 
 #[test]
@@ -177,9 +201,17 @@ fn prohibition_violations_are_caught_end_to_end() {
     // Site B promised no spontaneous writes; a rogue application
     // violates it. The checker flags property 6 on the real trace.
     let mut sc = ScenarioBuilder::new(66)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 1000)])), RID_SRC)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 1000)])),
+            RID_SRC,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 1000)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 1000)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(STRATEGY)
         .build()
@@ -219,7 +251,14 @@ fn dropped_initial_state_detected_as_p2() {
     // mismatch on old values appears once states are known.
     let mut stripped = Trace::new();
     for e in trace.events() {
-        stripped.push(e.time, e.site, e.desc.clone(), e.old_value.clone(), e.rule, e.trigger);
+        stripped.push(
+            e.time,
+            e.site,
+            e.desc.clone(),
+            e.old_value.clone(),
+            e.rule,
+            e.trigger,
+        );
     }
     // Without initials, the first write of each item is unchecked
     // (state unknown) — subsequent ones still are. Corrupt the second

@@ -40,7 +40,11 @@ fn skew_within_the_batch_margin_is_harmless() {
             clock::EIGHT_AM_NEXT * 1000,
         );
         let r = check_guarantee(&trace, &g, None);
-        assert!(r.holds, "skew {skew}s should be absorbed: {:#?}", r.violations);
+        assert!(
+            r.holds,
+            "skew {skew}s should be absorbed: {:#?}",
+            r.violations
+        );
     }
 }
 
@@ -72,10 +76,8 @@ fn crossover_is_exactly_the_batch_slack() {
     // The window start is 17:15; the batch at 17:00+skew finishes in
     // under a minute. The crossover therefore sits at ~15 minutes of
     // skew: 14 min passes, 16 min fails.
-    let tight = BankScenario::night_guarantee(
-        clock::FIVE_FIFTEEN_PM * 1000,
-        clock::EIGHT_AM_NEXT * 1000,
-    );
+    let tight =
+        BankScenario::night_guarantee(clock::FIVE_FIFTEEN_PM * 1000, clock::EIGHT_AM_NEXT * 1000);
     let pass = run_with_skew(14 * 60);
     assert!(check_guarantee(&pass, &tight, None).holds);
     let fail = run_with_skew(16 * 60);

@@ -187,16 +187,28 @@ fn sum_constraint_converges_after_each_update() {
     sc.inject(
         SimTime::from_secs(60),
         "SZ",
-        SpontaneousOp::KvPut { key: "z".into(), value: Value::Int(-5) },
+        SpontaneousOp::KvPut {
+            key: "z".into(),
+            value: Value::Int(-5),
+        },
     );
     sc.run_to_quiescence();
     let trace = sc.trace();
 
     // Final agreement: X = Y + Z across three sites.
     let end = trace.end_time();
-    let x = trace.value_at(&ItemId::plain("X"), end).and_then(|v| v.as_int()).unwrap();
-    let y = trace.value_at(&ItemId::plain("Y"), end).and_then(|v| v.as_int()).unwrap();
-    let z = trace.value_at(&ItemId::plain("Z"), end).and_then(|v| v.as_int()).unwrap();
+    let x = trace
+        .value_at(&ItemId::plain("X"), end)
+        .and_then(|v| v.as_int())
+        .unwrap();
+    let y = trace
+        .value_at(&ItemId::plain("Y"), end)
+        .and_then(|v| v.as_int())
+        .unwrap();
+    let z = trace
+        .value_at(&ItemId::plain("Z"), end)
+        .and_then(|v| v.as_int())
+        .unwrap();
     assert_eq!(x, y + z, "X={x} Y={y} Z={z}");
     assert_eq!(x, 45);
 
@@ -231,19 +243,34 @@ fn concurrent_updates_still_converge() {
         sc.inject(
             SimTime::from_secs(10 + i * 13),
             "SY",
-            SpontaneousOp::Sql(format!("update vals set v = {} where k = 'Y'", 10 + i as i64)),
+            SpontaneousOp::Sql(format!(
+                "update vals set v = {} where k = 'Y'",
+                10 + i as i64
+            )),
         );
         sc.inject(
             SimTime::from_secs(14 + i * 17),
             "SZ",
-            SpontaneousOp::KvPut { key: "z".into(), value: Value::Int(20 - i as i64) },
+            SpontaneousOp::KvPut {
+                key: "z".into(),
+                value: Value::Int(20 - i as i64),
+            },
         );
     }
     sc.run_to_quiescence();
     let trace = sc.trace();
     let end = trace.end_time();
-    let x = trace.value_at(&ItemId::plain("X"), end).and_then(|v| v.as_int()).unwrap();
-    let y = trace.value_at(&ItemId::plain("Y"), end).and_then(|v| v.as_int()).unwrap();
-    let z = trace.value_at(&ItemId::plain("Z"), end).and_then(|v| v.as_int()).unwrap();
+    let x = trace
+        .value_at(&ItemId::plain("X"), end)
+        .and_then(|v| v.as_int())
+        .unwrap();
+    let y = trace
+        .value_at(&ItemId::plain("Y"), end)
+        .and_then(|v| v.as_int())
+        .unwrap();
+    let z = trace
+        .value_at(&ItemId::plain("Z"), end)
+        .and_then(|v| v.as_int())
+        .unwrap();
     assert_eq!(x, y + z);
 }

@@ -30,9 +30,17 @@ N(salary1(n), b) -> WR(salary2(n), b) within 5s
 
 fn run(seed: u64) -> Scenario {
     let mut sc = ScenarioBuilder::new(seed)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 1000)])), RID_SRC)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 1000)])),
+            RID_SRC,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 1000)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 1000)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(STRATEGY)
         .build()
@@ -65,12 +73,20 @@ fn derived_guarantees_hold_on_real_executions() {
         dst,
         SimDuration::from_secs(5),
     );
-    assert_eq!(derived.len(), 4, "notify+write derives all four copy guarantees");
+    assert_eq!(
+        derived.len(),
+        4,
+        "notify+write derives all four copy guarantees"
+    );
     let trace = sc.trace();
     for d in &derived {
         let g = parse_guarantee(d.name, &d.formula).unwrap();
         let r = check_guarantee(&trace, &g, None);
-        assert!(r.holds, "derived `{}` violated: {:#?}", d.name, r.violations);
+        assert!(
+            r.holds,
+            "derived `{}` violated: {:#?}",
+            d.name, r.violations
+        );
     }
 }
 
@@ -120,6 +136,9 @@ fn derivation_matches_menu_suggestions() {
     );
     let derived_names: Vec<_> = derived.iter().map(|d| d.name).collect();
     for g in &propagate.valid_guarantees {
-        assert!(derived_names.contains(g), "menu promises `{g}`, derivation omits it");
+        assert!(
+            derived_names.contains(g),
+            "menu promises `{g}`, derivation omits it"
+        );
     }
 }

@@ -34,9 +34,17 @@ fn run(seed: u64, fifo: bool) -> Scenario {
     });
     net.set_fifo(fifo);
     let mut sc = ScenarioBuilder::new(seed)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 0)])), RID_SRC)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 0)])),
+            RID_SRC,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 0)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 0)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(STRATEGY)
         .network(net)

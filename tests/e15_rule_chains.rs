@@ -57,12 +57,17 @@ fn three_site_relay_preserves_provenance_and_validity() {
     t.execute("insert into t values ('e1', 1)").unwrap();
     let mut dst = hcm::ris::relational::Database::new();
     dst.create_table("employees", &["empid", "salary"]).unwrap();
-    dst.execute("insert into employees values ('e1', 1)").unwrap();
+    dst.execute("insert into employees values ('e1', 1)")
+        .unwrap();
 
     let mut sc = ScenarioBuilder::new(4)
         .site("A", RawStore::Relational(t), RID_A)
         .unwrap()
-        .site("M", RawStore::Kv(hcm::ris::kvstore::KvStore::new()), RID_MID)
+        .site(
+            "M",
+            RawStore::Kv(hcm::ris::kvstore::KvStore::new()),
+            RID_MID,
+        )
         .unwrap()
         .site("B", RawStore::Relational(dst), RID_DST)
         .unwrap()
@@ -78,8 +83,11 @@ fn three_site_relay_preserves_provenance_and_validity() {
     let trace = sc.trace();
 
     // Full causal chain: Ws@A → N@A → Relay@M → WR@B → W@B.
-    let tags: Vec<(&str, u32)> =
-        trace.events().iter().map(|e| (e.desc.tag(), e.site.index())).collect();
+    let tags: Vec<(&str, u32)> = trace
+        .events()
+        .iter()
+        .map(|e| (e.desc.tag(), e.site.index()))
+        .collect();
     assert_eq!(
         tags,
         vec![("Ws", 0), ("N", 0), ("Custom", 1), ("WR", 2), ("W", 2)],
@@ -100,7 +108,10 @@ fn three_site_relay_preserves_provenance_and_validity() {
     );
     // Value landed.
     assert_eq!(
-        trace.value_at(&ItemId::with("salary2", [Value::from("e1")]), trace.end_time()),
+        trace.value_at(
+            &ItemId::with("salary2", [Value::from("e1")]),
+            trace.end_time()
+        ),
         Some(Value::Int(42))
     );
     // And the whole thing is a valid execution — including property 5
@@ -137,7 +148,11 @@ N(src(n), b) -> Ping(b) within 1s
         SpontaneousOp::Sql("update t set v = 2 where k = 'e1'".into()),
     );
     let outcome = sc.run_to_quiescence();
-    assert_eq!(outcome, hcm::simkit::RunOutcome::StepBudget, "runaway bounded");
+    assert_eq!(
+        outcome,
+        hcm::simkit::RunOutcome::StepBudget,
+        "runaway bounded"
+    );
     // Trace contains many Ping events — the loop really ran.
     assert!(sc.trace().tag_counts().get("Custom").copied().unwrap_or(0) > 100);
 }

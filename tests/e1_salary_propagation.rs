@@ -61,9 +61,17 @@ fn copy_guarantees() -> Vec<hcm::rulelang::Guarantee> {
 
 fn build(seed: u64) -> hcm::toolkit::Scenario {
     ScenarioBuilder::new(seed)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 90_000), ("e2", 70_000)])), RID_SRC)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 90_000), ("e2", 70_000)])),
+            RID_SRC,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 90_000), ("e2", 70_000)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 90_000), ("e2", 70_000)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(STRATEGY)
         .build()
@@ -73,7 +81,11 @@ fn build(seed: u64) -> hcm::toolkit::Scenario {
 #[test]
 fn scripted_updates_satisfy_all_four_guarantees() {
     let mut sc = build(1);
-    for (t, id, v) in [(10u64, "e1", 95_000i64), (40, "e2", 71_000), (70, "e1", 99_000)] {
+    for (t, id, v) in [
+        (10u64, "e1", 95_000i64),
+        (40, "e2", 71_000),
+        (70, "e1", 99_000),
+    ] {
         sc.inject(
             SimTime::from_secs(t),
             "A",
@@ -87,20 +99,37 @@ fn scripted_updates_satisfy_all_four_guarantees() {
 
     // The execution is valid per Appendix A.
     let report = check_validity(&trace, &rule_set_of(&sc));
-    assert!(report.is_valid(), "validity violations: {:#?}", report.violations);
-    assert!(report.obligations_checked >= 9, "expected ≥3 obligations per update");
+    assert!(
+        report.is_valid(),
+        "validity violations: {:#?}",
+        report.violations
+    );
+    assert!(
+        report.obligations_checked >= 9,
+        "expected ≥3 obligations per update"
+    );
 
     // All four §3.3.1 guarantees hold.
     for g in copy_guarantees() {
         let r = check_guarantee(&trace, &g, None);
-        assert!(r.holds, "guarantee `{}` violated: {:#?}", g.name, r.violations);
+        assert!(
+            r.holds,
+            "guarantee `{}` violated: {:#?}",
+            g.name, r.violations
+        );
         assert!(r.instantiations > 0, "guarantee `{}` was vacuous", g.name);
     }
 
     // And the databases really agree at the end.
     for id in ["e1", "e2"] {
-        let a = trace.value_at(&ItemId::with("salary1", [Value::from(id)]), trace.end_time());
-        let b = trace.value_at(&ItemId::with("salary2", [Value::from(id)]), trace.end_time());
+        let a = trace.value_at(
+            &ItemId::with("salary1", [Value::from(id)]),
+            trace.end_time(),
+        );
+        let b = trace.value_at(
+            &ItemId::with("salary2", [Value::from(id)]),
+            trace.end_time(),
+        );
         assert_eq!(a, b, "databases diverge for {id}");
     }
 }
@@ -121,14 +150,26 @@ fn poisson_workload_satisfies_guarantees() {
     )));
     sc.run_to_quiescence();
     let trace = sc.trace();
-    assert!(trace.len() > 20, "workload too small: {} events", trace.len());
+    assert!(
+        trace.len() > 20,
+        "workload too small: {} events",
+        trace.len()
+    );
 
     let report = check_validity(&trace, &rule_set_of(&sc));
-    assert!(report.is_valid(), "validity violations: {:#?}", report.violations);
+    assert!(
+        report.is_valid(),
+        "validity violations: {:#?}",
+        report.violations
+    );
 
     for g in copy_guarantees() {
         let r = check_guarantee(&trace, &g, None);
-        assert!(r.holds, "guarantee `{}` violated: {:#?}", g.name, r.violations);
+        assert!(
+            r.holds,
+            "guarantee `{}` violated: {:#?}",
+            g.name, r.violations
+        );
     }
 }
 
@@ -153,5 +194,8 @@ fn per_update_propagation_latency_within_bounds() {
     // theoretical worst case; with 200ms service delays and campus
     // network latency the real chain is well under a second.
     assert!(latency < SimDuration::from_secs(8), "latency {latency}");
-    assert!(latency >= SimDuration::from_millis(400), "latency implausibly low: {latency}");
+    assert!(
+        latency >= SimDuration::from_millis(400),
+        "latency implausibly low: {latency}"
+    );
 }

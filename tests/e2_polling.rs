@@ -47,9 +47,17 @@ R(salary1(n), b) -> WR(salary2(n), b) within 5s
 
 fn build(seed: u64, horizon_secs: u64) -> Scenario {
     ScenarioBuilder::new(seed)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 90_000)])), RID_SRC_READONLY)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_SRC_READONLY,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 90_000)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(POLLING_STRATEGY)
         .stop_periodics_at(SimTime::from_secs(horizon_secs))
@@ -61,7 +69,9 @@ fn update(sc: &mut Scenario, t: u64, v: i64) {
     sc.inject(
         SimTime::from_secs(t),
         "A",
-        SpontaneousOp::Sql(format!("update employees set salary = {v} where empid = 'e1'")),
+        SpontaneousOp::Sql(format!(
+            "update employees set salary = {v} where empid = 'e1'"
+        )),
     );
 }
 
@@ -117,8 +127,14 @@ fn polling_keeps_follows_and_order_but_loses_leads() {
         "(salary1(n) = x) @ t1 => (salary2(n) = x) @ t2 and t2 >= t1",
     );
     let r = check_guarantee(&trace, &leads, None);
-    assert!(!r.holds, "guarantee (2) must fail under polling with intra-interval updates");
-    assert!(r.violations.iter().any(|v| v.instantiation.contains("95000")));
+    assert!(
+        !r.holds,
+        "guarantee (2) must fail under polling with intra-interval updates"
+    );
+    assert!(r
+        .violations
+        .iter()
+        .any(|v| v.instantiation.contains("95000")));
 
     // Sanity: the slow lone update did make it.
     let y_vals = trace
@@ -174,6 +190,9 @@ fn miss_rate_grows_with_update_rate() {
     let slow = miss_rate(90); // slower than the 60s poll
     let fast = miss_rate(15); // 4 updates per poll interval
     assert!(slow < 0.15, "slow workload should rarely miss (got {slow})");
-    assert!(fast > 0.5, "fast workload should miss most values (got {fast})");
+    assert!(
+        fast > 0.5,
+        "fast workload should miss most values (got {fast})"
+    );
     assert!(fast > slow);
 }

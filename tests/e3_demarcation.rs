@@ -26,8 +26,18 @@ fn workload(seed: u64, n: usize) -> Vec<(SimTime, bool, i64)> {
         .collect()
 }
 
-fn run_demarc(policy: GrantPolicy, seed: u64, ops: &[(SimTime, bool, i64)]) -> demarcation::DemarcScenario {
-    let mut d = demarcation::build(DemarcConfig { seed, x0: 0, y0: 400, line: 200, policy });
+fn run_demarc(
+    policy: GrantPolicy,
+    seed: u64,
+    ops: &[(SimTime, bool, i64)],
+) -> demarcation::DemarcScenario {
+    let mut d = demarcation::build(DemarcConfig {
+        seed,
+        x0: 0,
+        y0: 400,
+        line: 200,
+        policy,
+    });
     for &(t, lower, delta) in ops {
         d.try_update(t, lower, delta);
     }
@@ -39,7 +49,11 @@ fn run_demarc(policy: GrantPolicy, seed: u64, ops: &[(SimTime, bool, i64)]) -> d
 fn invariant_always_holds_under_random_workload() {
     for seed in [1, 2, 3] {
         let ops = workload(seed, 60);
-        for policy in [GrantPolicy::Requested, GrantPolicy::All, GrantPolicy::HalfAvailable] {
+        for policy in [
+            GrantPolicy::Requested,
+            GrantPolicy::All,
+            GrantPolicy::HalfAvailable,
+        ] {
             let d = run_demarc(policy, seed, &ops);
             assert!(
                 d.invariant_held(),
@@ -80,8 +94,7 @@ fn policies_trade_requests_for_future_denials() {
     let ops = workload(11, 100);
     let exact = run_demarc(GrantPolicy::Requested, 11, &ops);
     let all = run_demarc(GrantPolicy::All, 11, &ops);
-    let req_exact =
-        exact.stats_x.borrow().limit_requests + exact.stats_y.borrow().limit_requests;
+    let req_exact = exact.stats_x.borrow().limit_requests + exact.stats_y.borrow().limit_requests;
     let req_all = all.stats_x.borrow().limit_requests + all.stats_y.borrow().limit_requests;
     // Granting everything means the *granter* runs out sooner and must
     // come asking; the requester asks less. Net message counts differ —
@@ -119,8 +132,8 @@ fn demarcation_beats_tpc_on_latency_and_messages_for_local_updates() {
     assert!(t_stats.messages as f64 / t_stats.submitted as f64 >= 4.0);
     // Latency: every 2PC commit pays ≥ one prepare/vote round trip +
     // service; demarcation local updates complete in ~1 write.
-    let avg_tpc = t_stats.latencies_ms.iter().sum::<u64>() as f64
-        / t_stats.latencies_ms.len().max(1) as f64;
+    let avg_tpc =
+        t_stats.latencies_ms.iter().sum::<u64>() as f64 / t_stats.latencies_ms.len().max(1) as f64;
     assert!(
         avg_tpc >= 90.0,
         "2PC per-commit latency should include coordination, got {avg_tpc}ms"
@@ -152,7 +165,11 @@ fn under_site_failure_demarcation_keeps_local_updates_flowing() {
         d.try_update(SimTime::from_secs(10 + i * 10), true, 5); // X: all local
     }
     d.run();
-    assert_eq!(d.stats_x.borrow().local_ok, 10, "local updates unaffected by B's crash");
+    assert_eq!(
+        d.stats_x.borrow().local_ok,
+        10,
+        "local updates unaffected by B's crash"
+    );
     assert!(d.invariant_held());
 
     let mut t = tpc::build(17, 0, 400);
@@ -161,7 +178,11 @@ fn under_site_failure_demarcation_keeps_local_updates_flowing() {
         t.try_update(SimTime::from_secs(10 + i * 10), true, 5);
     }
     t.run();
-    assert_eq!(t.stats.borrow().committed, 0, "2PC commits nothing while Y is down");
+    assert_eq!(
+        t.stats.borrow().committed,
+        0,
+        "2PC commits nothing while Y is down"
+    );
     assert_eq!(t.stats.borrow().aborted_unavailable, 10);
 }
 
@@ -178,7 +199,9 @@ fn limit_requests_with_slack_are_granted_within_bound() {
 
     let mut reqs_with_slack = 0;
     for e in trace.events() {
-        let hcm::core::EventDesc::Custom { name, args } = &e.desc else { continue };
+        let hcm::core::EventDesc::Custom { name, args } = &e.desc else {
+            continue;
+        };
         if name != "LimitReqRecv" {
             continue;
         }
@@ -199,5 +222,8 @@ fn limit_requests_with_slack_are_granted_within_bound() {
         });
         assert!(granted, "request with slack at {} not granted", e.time);
     }
-    assert!(reqs_with_slack > 0, "workload produced no grantable limit requests");
+    assert!(
+        reqs_with_slack > 0,
+        "workload produced no grantable limit requests"
+    );
 }

@@ -39,14 +39,20 @@ fn randomized_workload_respects_the_window() {
         // or was deleted within 2 windows of its creation.
         let max_window = SimDuration::from_secs(2 * HOUR);
         for e in trace.events() {
-            let hcm::core::EventDesc::Ws { item, new, .. } = &e.desc else { continue };
+            let hcm::core::EventDesc::Ws { item, new, .. } = &e.desc else {
+                continue;
+            };
             if item.base != "project" || !new.exists() {
                 continue;
             }
-            let salary = ItemId { base: "salary".into(), params: item.params.clone() };
+            let salary = ItemId {
+                base: "salary".into(),
+                params: item.params.clone(),
+            };
             let deadline = e.time + max_window;
-            let salary_by_deadline =
-                trace.value_at(&salary, deadline).is_some_and(|v| v.exists());
+            let salary_by_deadline = trace
+                .value_at(&salary, deadline)
+                .is_some_and(|v| v.exists());
             let project_gone_by_deadline =
                 !trace.value_at(item, deadline).is_some_and(|v| v.exists());
             assert!(
@@ -62,7 +68,11 @@ fn randomized_workload_respects_the_window() {
 
 #[test]
 fn deletion_rate_tracks_dangling_fraction() {
-    let mut r = refint::build(9, SimDuration::from_secs(HOUR), SimTime::from_secs(3 * HOUR));
+    let mut r = refint::build(
+        9,
+        SimDuration::from_secs(HOUR),
+        SimTime::from_secs(3 * HOUR),
+    );
     for i in 0..10 {
         let id = format!("d{i}");
         r.add_project(SimTime::from_secs(100 + i), &id, "p");
@@ -71,12 +81,18 @@ fn deletion_rate_tracks_dangling_fraction() {
         }
     }
     r.scenario.run_to_quiescence();
-    assert_eq!(r.stats.borrow().deleted, 6, "exactly the dangling records go");
+    assert_eq!(
+        r.stats.borrow().deleted,
+        6,
+        "exactly the dangling records go"
+    );
     let trace = r.scenario.trace();
     // Employees with salaries keep their projects.
     for i in 0..4 {
         let p = ItemId::with("project", [Value::from(format!("d{i}"))]);
-        assert!(trace.value_at(&p, trace.end_time()).is_some_and(|v| v.exists()));
+        assert!(trace
+            .value_at(&p, trace.end_time())
+            .is_some_and(|v| v.exists()));
     }
 }
 
@@ -86,7 +102,11 @@ fn deletion_rate_tracks_dangling_fraction() {
 /// on `notice(i)` items in the trace.
 #[test]
 fn owners_are_notified_of_deletions() {
-    let mut r = refint::build(11, SimDuration::from_secs(HOUR), SimTime::from_secs(2 * HOUR));
+    let mut r = refint::build(
+        11,
+        SimDuration::from_secs(HOUR),
+        SimTime::from_secs(2 * HOUR),
+    );
     r.add_project(SimTime::from_secs(100), "ada", "skunkworks");
     r.add_salary(SimTime::from_secs(100), "bob", 500);
     r.add_project(SimTime::from_secs(200), "bob", "mainline");
@@ -95,15 +115,14 @@ fn owners_are_notified_of_deletions() {
     let s = r.stats.borrow();
     assert_eq!(s.deleted, 1, "only ada's record dangles");
     assert_eq!(s.notices_sent, 1);
-    drop(s);
 
     let trace = r.scenario.trace();
     let notice_writes: Vec<_> = trace
         .events()
         .iter()
-        .filter(|e| {
-            matches!(&e.desc, hcm::core::EventDesc::W { item, .. } if item.base == "notice")
-        })
+        .filter(
+            |e| matches!(&e.desc, hcm::core::EventDesc::W { item, .. } if item.base == "notice"),
+        )
         .collect();
     assert_eq!(notice_writes.len(), 1);
     match &notice_writes[0].desc {

@@ -41,7 +41,11 @@ fn flag_actually_transitions_under_divergence() {
     m.write_x(SimTime::from_secs(50), 3);
     m.write_y(SimTime::from_secs(70), 3);
     m.run();
-    assert_eq!(*m.transitions.borrow(), 4, "two divergences, two re-convergences");
+    assert_eq!(
+        *m.transitions.borrow(),
+        4,
+        "two divergences, two re-convergences"
+    );
 }
 
 #[test]
@@ -62,7 +66,10 @@ fn kappa_smaller_than_notification_bound_fails() {
         "(Flag = true and Tb = s) @ t => (X = Y) @@ [s, t - 50ms]",
     )
     .unwrap();
-    assert!(!check_guarantee(&trace, &tight, None).holds, "κ = 50ms cannot hold");
+    assert!(
+        !check_guarantee(&trace, &tight, None).holds,
+        "κ = 50ms cannot hold"
+    );
     let proper = m.guarantee();
     let r = check_guarantee(&trace, &proper, None);
     assert!(r.holds, "{:#?}", r.violations);

@@ -10,13 +10,9 @@ fn randomized_working_day_yields_the_night_guarantee() {
     for seed in [1u64, 2, 3] {
         let accounts: Vec<(String, i64)> =
             (0..8).map(|i| (format!("a{i}"), 1000 + i as i64)).collect();
-        let refs: Vec<(&str, i64)> =
-            accounts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-        let mut b = hcm::protocols::periodic::build(
-            seed,
-            &refs,
-            &[SimTime::from_secs(clock::FIVE_PM)],
-        );
+        let refs: Vec<(&str, i64)> = accounts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let mut b =
+            hcm::protocols::periodic::build(seed, &refs, &[SimTime::from_secs(clock::FIVE_PM)]);
         let mut rng = SimRng::seeded(seed * 31);
         // Random updates strictly inside banking hours.
         for _ in 0..30 {
@@ -68,5 +64,9 @@ fn batch_cost_scales_with_accounts_not_updates() {
         );
     }
     b.scenario.run_to_quiescence();
-    assert_eq!(b.stats.borrow().propagated, 3, "one write per account, not per update");
+    assert_eq!(
+        b.stats.borrow().propagated,
+        3,
+        "one write per account, not per update"
+    );
 }

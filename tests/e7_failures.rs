@@ -34,9 +34,17 @@ N(salary1(n), b) -> WR(salary2(n), b) within 5s
 
 fn build(seed: u64) -> Scenario {
     ScenarioBuilder::new(seed)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 90_000)])), RID_SRC)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_SRC,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 90_000)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(STRATEGY)
         .failure_config(FailureConfig {
@@ -52,7 +60,9 @@ fn update(sc: &mut Scenario, t: u64, v: i64) {
     sc.inject(
         SimTime::from_secs(t),
         "A",
-        SpontaneousOp::Sql(format!("update employees set salary = {v} where empid = 'e1'")),
+        SpontaneousOp::Sql(format!(
+            "update employees set salary = {v} where empid = 'e1'"
+        )),
     );
 }
 
@@ -61,7 +71,12 @@ fn overload_causes_metric_failure_and_suspends_only_metric_guarantees() {
     let mut sc = build(1);
     // B's database is overloaded 30s–200s: every operation takes 20s
     // longer than normal — well beyond the 5s detection deadline.
-    sc.overload("B", SimTime::from_secs(30), SimTime::from_secs(200), SimDuration::from_secs(20));
+    sc.overload(
+        "B",
+        SimTime::from_secs(30),
+        SimTime::from_secs(200),
+        SimDuration::from_secs(20),
+    );
     update(&mut sc, 40, 95_000);
 
     // Run just past the detection deadline.
@@ -69,7 +84,11 @@ fn overload_causes_metric_failure_and_suspends_only_metric_guarantees() {
     let reg_b = sc.site("B").registry.borrow().status("follows_metric");
     assert_eq!(reg_b, Some(GuaranteeStatus::SuspendedMetric));
     let nonmetric_b = sc.site("B").registry.borrow().status("follows");
-    assert_eq!(nonmetric_b, Some(GuaranteeStatus::Valid), "non-metric survives");
+    assert_eq!(
+        nonmetric_b,
+        Some(GuaranteeStatus::Valid),
+        "non-metric survives"
+    );
     // Propagated to the other shell too.
     assert_eq!(
         sc.site("A").registry.borrow().status("follows_metric"),
@@ -84,9 +103,15 @@ fn overload_causes_metric_failure_and_suspends_only_metric_guarantees() {
         Some(GuaranteeStatus::Valid),
         "late response clears a metric failure"
     );
-    assert_eq!(sc.site("B").shell_stats.borrow().metric_failures_detected, 1);
+    assert_eq!(
+        sc.site("B").shell_stats.borrow().metric_failures_detected,
+        1
+    );
     assert_eq!(sc.site("B").shell_stats.borrow().failures_cleared, 1);
-    assert_eq!(sc.site("B").shell_stats.borrow().logical_failures_detected, 0);
+    assert_eq!(
+        sc.site("B").shell_stats.borrow().logical_failures_detected,
+        0
+    );
 
     // The trace confirms the paper's semantics: the *non-metric*
     // follows guarantee still holds on the actual data…
@@ -132,7 +157,10 @@ fn crash_causes_logical_failure_requiring_reset() {
     );
 
     // Only a reset restores validity (§5).
-    sc.site("B").registry.borrow_mut().reset(SimTime::from_secs(300));
+    sc.site("B")
+        .registry
+        .borrow_mut()
+        .reset(SimTime::from_secs(300));
     assert_eq!(
         sc.site("B").registry.borrow().status("follows"),
         Some(GuaranteeStatus::Valid)
@@ -153,12 +181,18 @@ fn detection_latency_is_bounded_by_the_deadline() {
     let detect = trace
         .events()
         .iter()
-        .find(|e| matches!(&e.desc, EventDesc::Custom { name, args }
-            if name == "FailureDetected" && args.get(1) == Some(&Value::from("metric"))))
+        .find(|e| {
+            matches!(&e.desc, EventDesc::Custom { name, args }
+            if name == "FailureDetected" && args.get(1) == Some(&Value::from("metric")))
+        })
         .expect("metric failure detected");
     // The N that triggered the request happened ~40.x s; the deadline
     // is 5s; detection must land within ~6s of the N event.
-    let n_event = trace.events().iter().find(|e| e.desc.tag() == "N").expect("notify");
+    let n_event = trace
+        .events()
+        .iter()
+        .find(|e| e.desc.tag() == "N")
+        .expect("notify");
     let latency = detect.time.saturating_since(n_event.time);
     assert!(
         latency <= SimDuration::from_millis(5_200),
@@ -180,11 +214,17 @@ fn recovery_replays_and_clears_even_after_crash() {
     assert_eq!(b.shell_stats.borrow().metric_failures_detected, 1);
     assert_eq!(b.shell_stats.borrow().logical_failures_detected, 0);
     assert_eq!(b.shell_stats.borrow().failures_cleared, 1);
-    assert_eq!(b.registry.borrow().status("follows_metric"), Some(GuaranteeStatus::Valid));
+    assert_eq!(
+        b.registry.borrow().status("follows_metric"),
+        Some(GuaranteeStatus::Valid)
+    );
     // The write actually happened after recovery.
     let trace = sc.trace();
     let item = hcm::core::ItemId::with("salary2", [Value::from("e1")]);
-    assert_eq!(trace.value_at(&item, trace.end_time()), Some(Value::Int(95_000)));
+    assert_eq!(
+        trace.value_at(&item, trace.end_time()),
+        Some(Value::Int(95_000))
+    );
 }
 
 #[test]
@@ -198,7 +238,10 @@ fn no_failure_no_suspension() {
         assert_eq!(reg.status("follows"), Some(GuaranteeStatus::Valid));
         assert_eq!(reg.status("follows_metric"), Some(GuaranteeStatus::Valid));
     }
-    assert_eq!(sc.site("B").shell_stats.borrow().metric_failures_detected, 0);
+    assert_eq!(
+        sc.site("B").shell_stats.borrow().metric_failures_detected,
+        0
+    );
 }
 
 #[test]
@@ -209,9 +252,17 @@ fn heartbeat_detects_silent_failure_without_traffic() {
     // all; without one, it goes unnoticed for the whole run.
     let build_hb = |heartbeat: Option<SimDuration>| {
         ScenarioBuilder::new(9)
-            .site("A", RawStore::Relational(employees_db(&[("e1", 1)])), RID_SRC)
+            .site(
+                "A",
+                RawStore::Relational(employees_db(&[("e1", 1)])),
+                RID_SRC,
+            )
             .unwrap()
-            .site("B", RawStore::Relational(employees_db(&[("e1", 1)])), RID_DST)
+            .site(
+                "B",
+                RawStore::Relational(employees_db(&[("e1", 1)])),
+                RID_DST,
+            )
             .unwrap()
             .strategy(STRATEGY)
             .failure_config(FailureConfig {
@@ -260,5 +311,115 @@ fn heartbeat_detects_silent_failure_without_traffic() {
         sc2.site("B").shell_stats.borrow().metric_failures_detected,
         0,
         "no probing, no traffic, no detection — the paper's silent-failure gap"
+    );
+}
+
+/// Build a scenario whose shell at B heartbeats its translator: silent
+/// failures are detected without any application workload (§5's
+/// "detected within heartbeat + deadline").
+fn build_with_heartbeat(seed: u64, stop: u64) -> Scenario {
+    ScenarioBuilder::new(seed)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_SRC,
+        )
+        .unwrap()
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_DST,
+        )
+        .unwrap()
+        .strategy(STRATEGY)
+        .failure_config(FailureConfig {
+            deadline: SimDuration::from_secs(5),
+            escalation: SimDuration::from_secs(30),
+            heartbeat: Some(SimDuration::from_secs(10)),
+        })
+        .stop_periodics_at(SimTime::from_secs(stop))
+        .build()
+        .unwrap()
+}
+
+/// A crashed translator is detected purely by heartbeat probes — no
+/// update traffic at all — and escalates metric → logical on schedule.
+#[test]
+fn heartbeat_detects_silent_crash_and_escalates() {
+    let mut sc = build_with_heartbeat(5, 280);
+    sc.crash("B", SimTime::from_secs(32), true);
+    sc.run_until(SimTime::from_secs(300));
+
+    let b = sc.site("B").shell_stats.borrow();
+    assert!(
+        b.metric_failures_detected >= 1,
+        "heartbeat missed the silent crash"
+    );
+    assert!(
+        b.logical_failures_detected >= 1,
+        "metric failure never escalated"
+    );
+    // No rule ever fired and no application request was sent: the
+    // detection really came from the heartbeat path.
+    assert_eq!(b.firings, 0);
+    assert_eq!(b.requests_sent, 0);
+    let hb = sc.obs.metrics.counter(
+        hcm::obs::Scope::Site(sc.site("B").site.index()),
+        "shell.heartbeats",
+    );
+    assert!(hb >= 3, "expected several heartbeat probes, saw {hb}");
+
+    // First probe lost is the 40s one; 5s deadline → detection by ~45s.
+    let trace = sc.trace();
+    let detect = trace
+        .events()
+        .iter()
+        .find(|e| {
+            matches!(&e.desc, EventDesc::Custom { name, args }
+            if name == "FailureDetected" && args.get(1) == Some(&Value::from("metric")))
+        })
+        .expect("metric failure detected");
+    assert!(
+        detect.time <= SimTime::from_secs(48),
+        "silent failure detected too late: {}",
+        detect.time
+    );
+    assert_eq!(
+        sc.site("B").registry.borrow().status("follows"),
+        Some(GuaranteeStatus::SuspendedLogical),
+        "escalation voids non-metric guarantees"
+    );
+}
+
+/// An overloaded (slow but alive) translator trips the heartbeat's
+/// metric deadline, then the late probe responses clear the failure:
+/// the armed → metric → cleared lifecycle, with no logical escalation.
+#[test]
+fn heartbeat_metric_failure_clears_on_late_response() {
+    let mut sc = build_with_heartbeat(6, 150);
+    // Every B operation takes 12s extra during 25s–90s: beyond the 5s
+    // deadline, well under the 30s escalation.
+    sc.overload(
+        "B",
+        SimTime::from_secs(25),
+        SimTime::from_secs(90),
+        SimDuration::from_secs(12),
+    );
+    sc.run_to_quiescence();
+
+    let b = sc.site("B").shell_stats.borrow();
+    assert!(b.metric_failures_detected >= 1, "slow probe never flagged");
+    assert!(
+        b.failures_cleared >= 1,
+        "late probe response never cleared the flag"
+    );
+    assert_eq!(
+        b.logical_failures_detected, 0,
+        "12s delay must not escalate"
+    );
+    assert_eq!(
+        sc.site("B").registry.borrow().status("follows_metric"),
+        Some(GuaranteeStatus::Valid),
+        "metric guarantees recover once responses resume"
     );
 }

@@ -44,15 +44,29 @@ N(salary1(n), b) -> if Cx(n) != b then WR(salary2(n), b) ; W(Cx(n), b) within 5s
 /// repeatedly (e.g. a nightly HR batch that touches every row).
 fn run(strategy: &str, seed: u64) -> Scenario {
     let mut sc = ScenarioBuilder::new(seed)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 90_000)])), RID_SRC)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_SRC,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 90_000)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(strategy)
-        .private_data("B", ItemId::with("Cx", [Value::from("e1")]), Value::Int(90_000))
+        .private_data(
+            "B",
+            ItemId::with("Cx", [Value::from("e1")]),
+            Value::Int(90_000),
+        )
         .build()
         .unwrap();
-    let values = [95_000, 95_000, 95_000, 96_000, 96_000, 97_000, 97_000, 97_000];
+    let values = [
+        95_000, 95_000, 95_000, 96_000, 96_000, 97_000, 97_000, 97_000,
+    ];
     for (i, v) in values.iter().enumerate() {
         sc.inject(
             SimTime::from_secs(10 + 10 * i as u64),
@@ -109,12 +123,24 @@ fn caching_cuts_write_requests_without_losing_guarantees() {
 /// the cache is intentionally only refreshed on forwarded values.
 fn run_alternating(strategy: &str, seed: u64) -> Scenario {
     let mut sc = ScenarioBuilder::new(seed)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 90_000)])), RID_SRC)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_SRC,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 90_000)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(strategy)
-        .private_data("B", ItemId::with("Cx", [Value::from("e1")]), Value::Int(90_000))
+        .private_data(
+            "B",
+            ItemId::with("Cx", [Value::from("e1")]),
+            Value::Int(90_000),
+        )
         .build()
         .unwrap();
     for (i, v) in [95_000, 90_000, 95_000, 90_000, 95_000].iter().enumerate() {
@@ -138,7 +164,10 @@ fn cached_trace_is_still_a_valid_execution() {
     assert!(report.is_valid(), "{:#?}", report.violations);
     // The cache item's writes are part of the trace (W events on Cx).
     let w_count = trace.tag_counts().get("W").copied().unwrap_or(0);
-    assert!(w_count >= 6, "3 remote writes + 3 cache updates, got {w_count}");
+    assert!(
+        w_count >= 6,
+        "3 remote writes + 3 cache updates, got {w_count}"
+    );
 }
 
 #[test]
@@ -148,10 +177,14 @@ fn step_order_matters_cache_updated_after_comparison() {
     // refreshed the cache first, no write request would ever be sent.
     let sc = run(CACHED, 4);
     let wr = sc.trace().tag_counts().get("WR").copied().unwrap_or(0);
-    assert!(wr > 0, "cache-then-compare ordering bug: no writes forwarded");
+    assert!(
+        wr > 0,
+        "cache-then-compare ordering bug: no writes forwarded"
+    );
     // And the suppressed duplicates are visible in the shell stats.
     let skipped = sc.site("A").shell_stats.borrow().steps_skipped;
-    let fired = sc.site("B").shell_stats.borrow().firings + sc.site("A").shell_stats.borrow().firings;
+    let fired =
+        sc.site("B").shell_stats.borrow().firings + sc.site("A").shell_stats.borrow().firings;
     assert!(fired > 0);
     let _ = skipped; // may be zero when the source deduplicates
 }

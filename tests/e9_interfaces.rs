@@ -53,9 +53,17 @@ N(salary1(n), b) -> WR(salary2(n), b) within 5s
 #[test]
 fn conditional_notify_suppresses_small_changes() {
     let mut sc = ScenarioBuilder::new(1)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 100_000)])), RID_SRC_CONDITIONAL)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 100_000)])),
+            RID_SRC_CONDITIONAL,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 100_000)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 100_000)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(PROPAGATE)
         .build()
@@ -134,7 +142,9 @@ fn periodic_notify_bounds_staleness_by_period() {
     dir.admin_set("ann", "phone", "555-0100");
     let mut phones = hcm::ris::relational::Database::new();
     phones.create_table("phones", &["name", "phone"]).unwrap();
-    phones.execute("insert into phones values ('ann', '555-0100')").unwrap();
+    phones
+        .execute("insert into phones values ('ann', '555-0100')")
+        .unwrap();
 
     let mut sc = ScenarioBuilder::new(2)
         .site("A", RawStore::Whois(dir), RID_SRC_PERIODIC_WHOIS)

@@ -26,9 +26,17 @@ N(salary1(n), b) -> WR(salary2(n), b) within 5s
 #[test]
 fn post_mortem_checks_validity_and_declared_guarantees() {
     let mut sc = ScenarioBuilder::new(8)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 100)])), RID_SRC)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 100)])),
+            RID_SRC,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 100)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 100)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(STRATEGY)
         .build()
@@ -41,7 +49,12 @@ fn post_mortem_checks_validity_and_declared_guarantees() {
     sc.run_to_quiescence();
 
     let pm = hcm::harness::post_mortem(&sc);
-    assert!(pm.all_good(), "validity: {:#?}\nguarantees: {:#?}", pm.validity, pm.guarantees);
+    assert!(
+        pm.all_good(),
+        "validity: {:#?}\nguarantees: {:#?}",
+        pm.validity,
+        pm.guarantees
+    );
     assert_eq!(pm.guarantees.len(), 2);
     assert!(pm.guarantees.iter().any(|g| g.name == "follows"));
     assert!(pm.trace.len() >= 4);
@@ -54,9 +67,17 @@ fn post_mortem_reports_broken_guarantees() {
     // write promise AND makes `follows` false (salary2 takes a value
     // salary1 never had).
     let mut sc = ScenarioBuilder::new(9)
-        .site("A", RawStore::Relational(employees_db(&[("e1", 100)])), RID_SRC)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 100)])),
+            RID_SRC,
+        )
         .unwrap()
-        .site("B", RawStore::Relational(employees_db(&[("e1", 100)])), RID_DST)
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 100)])),
+            RID_DST,
+        )
         .unwrap()
         .strategy(STRATEGY)
         .build()

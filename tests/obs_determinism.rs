@@ -1,0 +1,112 @@
+//! Observability determinism regression: a metrics snapshot is a pure
+//! function of (scenario, seed).
+//!
+//! The registry orders everything with `BTreeMap`s and timestamps
+//! records with sim-time only, so running the same scenario twice with
+//! the same seed must yield **byte-identical** JSON-lines snapshots —
+//! the property that makes snapshots diffable across refactors. E1
+//! (salary propagation) covers the toolkit path, E3 (demarcation)
+//! covers the protocol agents.
+
+mod common;
+
+use common::{employees_db, RID_DST, RID_SRC};
+use hcm::core::{SimDuration, SimTime};
+use hcm::protocols::demarcation::{self, DemarcConfig, GrantPolicy};
+use hcm::simkit::SimRng;
+use hcm::toolkit::backends::RawStore;
+use hcm::toolkit::workload::PoissonWriter;
+use hcm::toolkit::ScenarioBuilder;
+
+const STRATEGY: &str = r#"
+[locate]
+salary1 = A
+salary2 = B
+
+[strategy]
+N(salary1(n), b) -> WR(salary2(n), b) within 5s
+"#;
+
+/// Run the E1 salary-copy deployment and return its (jsonl, table)
+/// snapshot pair.
+fn e1_snapshot(seed: u64) -> (String, String) {
+    let rows = [("e0", 1000i64), ("e1", 2000)];
+    let mut sc = ScenarioBuilder::new(seed)
+        .site("A", RawStore::Relational(employees_db(&rows)), RID_SRC)
+        .unwrap()
+        .site("B", RawStore::Relational(employees_db(&rows)), RID_DST)
+        .unwrap()
+        .strategy(STRATEGY)
+        .build()
+        .unwrap();
+    let target = sc.site("A").translator;
+    sc.add_actor(Box::new(PoissonWriter::sql_updates(
+        target,
+        SimDuration::from_secs(20),
+        SimTime::from_secs(900),
+        "employees",
+        "salary",
+        "empid",
+        vec!["e0".into(), "e1".into()],
+        (1, 9_999),
+    )));
+    sc.run_to_quiescence();
+    (sc.metrics_jsonl(), sc.metrics_table())
+}
+
+/// Run the E3 demarcation deployment and return its jsonl snapshot.
+fn e3_snapshot(seed: u64) -> String {
+    let mut rng = SimRng::seeded(seed ^ 0x0B5E_D15E);
+    let mut d = demarcation::build(DemarcConfig {
+        seed,
+        x0: 0,
+        y0: 400,
+        line: 200,
+        policy: GrantPolicy::Requested,
+    });
+    let mut t = SimTime::from_secs(5);
+    for _ in 0..60 {
+        t += SimDuration::from_secs(rng.int_in(5, 40) as u64);
+        d.try_update(t, rng.chance(0.5), rng.int_in(1, 15));
+    }
+    d.run();
+    d.scenario.metrics_jsonl()
+}
+
+#[test]
+fn e1_same_seed_snapshots_are_byte_identical() {
+    let (jsonl_a, table_a) = e1_snapshot(42);
+    let (jsonl_b, table_b) = e1_snapshot(42);
+    assert!(!jsonl_a.is_empty());
+    assert!(
+        jsonl_a.contains("shell.firings"),
+        "snapshot missing shell metrics:\n{jsonl_a}"
+    );
+    assert!(
+        jsonl_a.contains("net.delivery_latency"),
+        "snapshot missing net metrics"
+    );
+    assert_eq!(jsonl_a.as_bytes(), jsonl_b.as_bytes());
+    assert_eq!(table_a.as_bytes(), table_b.as_bytes());
+}
+
+#[test]
+fn e1_different_seeds_produce_different_snapshots() {
+    // Sanity that the snapshot really captures run-dependent state:
+    // different Poisson arrivals must show up in the histograms.
+    let (jsonl_a, _) = e1_snapshot(42);
+    let (jsonl_b, _) = e1_snapshot(43);
+    assert_ne!(jsonl_a, jsonl_b);
+}
+
+#[test]
+fn e3_same_seed_snapshots_are_byte_identical() {
+    let a = e3_snapshot(7);
+    let b = e3_snapshot(7);
+    assert!(!a.is_empty());
+    assert!(
+        a.contains("demarc.attempts"),
+        "snapshot missing demarcation metrics:\n{a}"
+    );
+    assert_eq!(a.as_bytes(), b.as_bytes());
+}

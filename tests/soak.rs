@@ -77,8 +77,11 @@ fn build(seed: u64) -> Scenario {
     let mut kv = hcm::ris::kvstore::KvStore::new();
     let mut dir = hcm::ris::whois::WhoisDir::new();
     for i in 0..5 {
-        hr.execute(&format!("insert into emp values ('e{i}', {})", 1000 * (i + 1)))
-            .unwrap();
+        hr.execute(&format!(
+            "insert into emp values ('e{i}', {})",
+            1000 * (i + 1)
+        ))
+        .unwrap();
         kv.put(&format!("sal/e{i}"), Value::Int(1000 * (i + 1)));
         dir.admin_set(&format!("p{i}"), "phone", &format!("555-0{i}00"));
     }
@@ -89,7 +92,11 @@ fn build(seed: u64) -> Scenario {
         .unwrap()
         .site("DIR", RawStore::Whois(dir), RID_PHONEDIR)
         .unwrap()
-        .site("FS", RawStore::File(hcm::ris::filestore::FileStore::new()), RID_PHONEMIRROR)
+        .site(
+            "FS",
+            RawStore::File(hcm::ris::filestore::FileStore::new()),
+            RID_PHONEMIRROR,
+        )
         .unwrap()
         .strategy(STRATEGY)
         .stop_periodics_at(SimTime::from_secs(1800))
@@ -112,9 +119,7 @@ fn mixed_deployment_survives_randomized_soak() {
                 sc.inject(
                     SimTime::from_secs(t),
                     "HR",
-                    SpontaneousOp::Sql(format!(
-                        "update emp set v = {v} where k = 'e{id}'"
-                    )),
+                    SpontaneousOp::Sql(format!("update emp set v = {v} where k = 'e{id}'")),
                 );
             } else {
                 let id = rng.int_in(0, 4);
@@ -149,8 +154,7 @@ fn mixed_deployment_survives_randomized_soak() {
         let report = check_validity(&trace, &rule_set_of(&sc));
         let window = SimTime::from_secs(395)..=SimTime::from_secs(475);
         for v in &report.violations {
-            let bound_related =
-                v.msg.contains("exceeds bound") || v.msg.contains("unfulfilled");
+            let bound_related = v.msg.contains("exceeds bound") || v.msg.contains("unfulfilled");
             let in_window = v
                 .event
                 .and_then(|id| trace.get(hcm::core::EventId(id)))
