@@ -5,7 +5,7 @@
 //! exactly when updates outpace the polling interval; guarantees (1),
 //! (3), (4) survive at every point of the sweep.
 
-use hcm_bench::harness;
+use hcm_bench::{harness, sweep};
 use hcm_core::{ItemId, SimDuration, SimTime, Value};
 use hcm_toolkit::backends::RawStore;
 use hcm_toolkit::{Scenario, ScenarioBuilder, SpontaneousOp};
@@ -75,27 +75,40 @@ fn miss_rate(sc: &Scenario) -> f64 {
 }
 
 fn print_series() {
+    // Each cell builds, runs, and measures its own scenario — a pure
+    // function of the key — so the parallel sweep prints the same
+    // bytes a serial one would (merge is in key order).
+    let gaps: &[u64] = if harness::quick() {
+        &[60, 15]
+    } else {
+        &[120, 60, 30, 15, 5]
+    };
+    let misses = sweep::run(gaps, |&gap| {
+        let mut sc = polling_scenario(3, 60, gap, 2400);
+        sc.run_to_quiescence();
+        miss_rate(&sc)
+    });
     eprintln!("\n[E2] polling miss-rate sweep (poll period 60s):");
     eprintln!(
         "  {:<22} {:>10} {:>18}",
         "update gap (s)", "miss rate", "guarantee (2)"
     );
-    for gap in [120u64, 60, 30, 15, 5] {
-        let mut sc = polling_scenario(3, 60, gap, 2400);
-        sc.run_to_quiescence();
-        let m = miss_rate(&sc);
+    for (gap, m) in gaps.iter().zip(&misses) {
         eprintln!(
             "  {:<22} {:>9.2}% {:>18}",
             gap,
             m * 100.0,
-            if m == 0.0 { "holds" } else { "VIOLATED" }
+            if *m == 0.0 { "holds" } else { "VIOLATED" }
         );
     }
     eprintln!("  crossover: miss rate leaves ~0 once the gap drops below the period.");
 
-    eprintln!("\n[E2] staleness vs poll period (one update mid-interval):");
-    eprintln!("  {:<22} {:>16}", "poll period (s)", "staleness κ (s)");
-    for period in [30u64, 60, 120, 300] {
+    let periods: &[u64] = if harness::quick() {
+        &[60, 120]
+    } else {
+        &[30, 60, 120, 300]
+    };
+    let worsts = sweep::run(periods, |&period| {
         let mut sc = polling_scenario(5, period, 10 * period, 8 * period);
         sc.run_to_quiescence();
         let trace = sc.trace();
@@ -116,6 +129,11 @@ fn print_series() {
                 }
             }
         }
+        worst
+    });
+    eprintln!("\n[E2] staleness vs poll period (one update mid-interval):");
+    eprintln!("  {:<22} {:>16}", "poll period (s)", "staleness κ (s)");
+    for (period, worst) in periods.iter().zip(&worsts) {
         eprintln!(
             "  {:<22} {:>16.1}",
             period,

@@ -15,8 +15,9 @@
 //! stderr and in `EXPERIMENTS.md`'s measured columns.
 
 /// Minimal wall-clock bench harness replacing the former Criterion
-/// targets: run a closure N times, keep mean/min, render a table plus a
-/// hand-rolled `BENCH_<name>.json` (same no-serde policy as `hcm-obs`).
+/// targets: run a closure N times, keep mean/min/percentiles, render a
+/// table plus a hand-rolled `BENCH_<name>.json` (same no-serde policy
+/// as `hcm-obs`), and optionally diff against a committed baseline.
 pub mod harness {
     use std::time::Instant;
 
@@ -28,46 +29,83 @@ pub mod harness {
         pub mean_ms: f64,
         /// Fastest sample in milliseconds.
         pub min_ms: f64,
+        /// Median sample in milliseconds.
+        pub p50_ms: f64,
+        /// 95th-percentile sample in milliseconds (nearest-rank).
+        pub p95_ms: f64,
         /// Sample count.
         pub samples: u32,
     }
 
+    /// `true` when a smoke run was requested (`HCM_BENCH_QUICK=1`):
+    /// one sample per case, reduced sweeps. Used by CI.
+    #[must_use]
+    pub fn quick() -> bool {
+        std::env::var("HCM_BENCH_QUICK").is_ok_and(|v| v != "0")
+    }
+
+    /// Effective sample count: `HCM_BENCH_SAMPLES` when set, `1` on a
+    /// quick run, else the target's requested count.
+    #[must_use]
+    pub fn effective_samples(requested: u32) -> u32 {
+        if let Ok(v) = std::env::var("HCM_BENCH_SAMPLES") {
+            return v.parse::<u32>().unwrap_or(requested).max(1);
+        }
+        if quick() {
+            return 1;
+        }
+        requested
+    }
+
     /// Time `f` over `samples` runs (after one untimed warm-up).
+    /// `samples` may be overridden by the environment — see
+    /// [`effective_samples`].
     pub fn time<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) -> Timing {
+        let samples = effective_samples(samples);
         std::hint::black_box(f());
-        let mut total = 0.0f64;
-        let mut min = f64::INFINITY;
+        let mut runs = Vec::with_capacity(samples as usize);
         for _ in 0..samples {
             let t0 = Instant::now();
             std::hint::black_box(f());
-            let ms = t0.elapsed().as_secs_f64() * 1000.0;
-            total += ms;
-            min = min.min(ms);
+            runs.push(t0.elapsed().as_secs_f64() * 1000.0);
         }
+        let mean = runs.iter().sum::<f64>() / f64::from(samples);
+        let mut sorted = runs;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        // Nearest-rank percentile: ceil(q·n) − 1, clamped.
+        let rank = |q: f64| -> f64 {
+            let n = sorted.len();
+            let i = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            sorted[i]
+        };
         Timing {
             name: name.to_string(),
-            mean_ms: total / f64::from(samples),
-            min_ms: min,
+            mean_ms: mean,
+            min_ms: sorted[0],
+            p50_ms: rank(0.50),
+            p95_ms: rank(0.95),
             samples,
         }
     }
 
-    /// Print the timing table to stderr and write
+    /// Print the timing table to stderr, write
     /// `target/BENCH_<bench>.json` (best effort — a read-only target
-    /// dir only costs the file, not the run).
+    /// dir only costs the file, not the run), and, when a baseline was
+    /// requested (`-- --baseline[=PATH]` or `HCM_BENCH_BASELINE`),
+    /// print a per-case comparison against it.
     pub fn report(bench: &str, timings: &[Timing]) {
         eprintln!(
             "
 [bench:{bench}]"
         );
         eprintln!(
-            "  {:<40} {:>12} {:>12} {:>8}",
-            "case", "mean (ms)", "min (ms)", "n"
+            "  {:<40} {:>11} {:>11} {:>11} {:>11} {:>6}",
+            "case", "mean (ms)", "min (ms)", "p50 (ms)", "p95 (ms)", "n"
         );
         for t in timings {
             eprintln!(
-                "  {:<40} {:>12.2} {:>12.2} {:>8}",
-                t.name, t.mean_ms, t.min_ms, t.samples
+                "  {:<40} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>6}",
+                t.name, t.mean_ms, t.min_ms, t.p50_ms, t.p95_ms, t.samples
             );
         }
         let json = to_json(bench, timings);
@@ -79,6 +117,93 @@ pub mod harness {
         if std::fs::write(&path, &json).is_ok() {
             eprintln!("  wrote {}", path.display());
         }
+        if let Some(base) = baseline_path(bench) {
+            compare_to_baseline(bench, timings, &base);
+        }
+    }
+
+    /// Resolve the requested baseline file, if any: `--baseline=PATH`
+    /// / `--baseline PATH` / bare `--baseline` in the binary's args,
+    /// or the `HCM_BENCH_BASELINE` env var (a path, or `1` for the
+    /// default). The default is the committed pre-optimization
+    /// snapshot `benches/baselines/pre/BENCH_<bench>.json`.
+    fn baseline_path(bench: &str) -> Option<std::path::PathBuf> {
+        let default = || {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../benches/baselines/pre")
+                .join(format!("BENCH_{bench}.json"))
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if let Some(p) = a.strip_prefix("--baseline=") {
+                return Some(p.into());
+            }
+            if a == "--baseline" {
+                return match args.next() {
+                    Some(p) if !p.starts_with('-') => Some(p.into()),
+                    _ => Some(default()),
+                };
+            }
+        }
+        match std::env::var("HCM_BENCH_BASELINE") {
+            Ok(v) if v == "1" || v.is_empty() => Some(default()),
+            Ok(v) => Some(v.into()),
+            Err(_) => None,
+        }
+    }
+
+    /// Diff fresh timings against a committed `BENCH_*.json`: per-case
+    /// speedup (baseline mean / fresh mean), flagging regressions.
+    fn compare_to_baseline(bench: &str, timings: &[Timing], path: &std::path::Path) {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("  baseline: {} not readable — skipped", path.display());
+            return;
+        };
+        let base = parse_case_means(&text);
+        eprintln!("\n[bench:{bench}] vs baseline {}", path.display());
+        eprintln!(
+            "  {:<40} {:>13} {:>11} {:>9}",
+            "case", "baseline (ms)", "now (ms)", "speedup"
+        );
+        for t in timings {
+            match base.iter().find(|(n, _)| n == &t.name) {
+                Some((_, b)) => {
+                    let speedup = b / t.mean_ms;
+                    let marker = if speedup < 0.9 { "  << regression" } else { "" };
+                    eprintln!(
+                        "  {:<40} {:>13.2} {:>11.2} {speedup:>8.2}x{marker}",
+                        t.name, b, t.mean_ms
+                    );
+                }
+                None => eprintln!("  {:<40} {:>13} {:>11.2}", t.name, "absent", t.mean_ms),
+            }
+        }
+    }
+
+    /// Extract `(name, mean_ms)` pairs from a `BENCH_*.json` report.
+    /// The format is our own (see [`to_json`]): scanning for the two
+    /// fields is exact on every file we emit, old or new.
+    #[must_use]
+    pub fn parse_case_means(json: &str) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        let mut rest = json;
+        while let Some(i) = rest.find("{\"name\":\"") {
+            rest = &rest[i + 9..];
+            let Some(q) = rest.find('"') else { break };
+            let name = rest[..q].to_string();
+            let Some(m) = rest.find("\"mean_ms\":") else {
+                break;
+            };
+            let tail = &rest[m + 10..];
+            let end = tail
+                .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                .unwrap_or(tail.len());
+            if let Ok(v) = tail[..end].parse::<f64>() {
+                out.push((name, v));
+            }
+            rest = tail;
+        }
+        out
     }
 
     /// Render the report as JSON (hand-rolled; labels are ASCII
@@ -92,12 +217,135 @@ pub mod harness {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"mean_ms\":{:.3},\"min_ms\":{:.3},\"samples\":{}}}",
-                t.name, t.mean_ms, t.min_ms, t.samples
+                "{{\"name\":\"{}\",\"mean_ms\":{:.3},\"min_ms\":{:.3},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"samples\":{}}}",
+                t.name, t.mean_ms, t.min_ms, t.p50_ms, t.p95_ms, t.samples
             ));
         }
         out.push_str("]}\n");
         out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn percentiles_from_sorted_samples() {
+            let t = time("t", 4, || std::hint::black_box(1 + 1));
+            assert!(t.min_ms <= t.p50_ms && t.p50_ms <= t.p95_ms);
+            assert!(t.samples >= 1);
+        }
+
+        #[test]
+        fn parse_roundtrip() {
+            let t = Timing {
+                name: "case_a".into(),
+                mean_ms: 12.5,
+                min_ms: 10.0,
+                p50_ms: 12.0,
+                p95_ms: 19.0,
+                samples: 10,
+            };
+            let json = to_json("x", &[t]);
+            let cases = parse_case_means(&json);
+            assert_eq!(cases, vec![("case_a".to_string(), 12.5)]);
+        }
+
+        #[test]
+        fn parse_pre_percentile_format() {
+            // Old reports lack p50/p95; the scanner must still read
+            // them (committed baselines are in this format).
+            let old = "{\"bench\":\"checker\",\"cases\":[{\"name\":\"validity\",\"mean_ms\":0.414,\"min_ms\":0.334,\"samples\":10}]}\n";
+            assert_eq!(parse_case_means(old), vec![("validity".to_string(), 0.414)]);
+        }
+    }
+}
+
+/// Deterministic parallel sweep driver.
+///
+/// Experiment sweeps (poll period × update rate, employee count ×
+/// horizon, seed batteries) are embarrassingly parallel: every cell
+/// builds its own [`hcm_toolkit::Scenario`] from its key and returns
+/// plain data. `Scenario` holds `Rc`/`RefCell` state and is not
+/// `Send`, so the *job* crosses threads, never the scenario: each
+/// worker constructs, runs, and drops its cells entirely locally.
+///
+/// Determinism: cells are handed out via an atomic cursor (so wall
+/// clock decides *who* computes a cell) but results are placed back by
+/// cell index and returned in input order (so scheduling never decides
+/// *where* a result lands). A job that is a pure function of its key —
+/// which scenario runs are, seeded sim-time simulation end to end —
+/// therefore produces byte-identical tables and obs snapshots whether
+/// the sweep runs on one thread or sixteen. The only global shared
+/// state is the `Sym` interner, whose assignment order varies across
+/// schedules by design; nothing observable orders by symbol id (see
+/// `hcm_core::intern`).
+pub mod sweep {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Worker count: `HCM_SWEEP_THREADS` when set (clamped to ≥ 1;
+    /// `1` forces the serial path, useful for CI smoke runs and
+    /// equivalence tests), otherwise the machine's available
+    /// parallelism.
+    #[must_use]
+    pub fn worker_count() -> usize {
+        match std::env::var("HCM_SWEEP_THREADS") {
+            Ok(v) => v.parse::<usize>().unwrap_or(1).max(1),
+            Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        }
+    }
+
+    /// Run `job` over every key, in parallel, returning results in
+    /// input order. See the module docs for the determinism argument.
+    pub fn run<K, R, F>(keys: &[K], job: F) -> Vec<R>
+    where
+        K: Sync,
+        R: Send,
+        F: Fn(&K) -> R + Sync,
+    {
+        let workers = worker_count().min(keys.len().max(1));
+        if workers <= 1 {
+            return run_serial(keys, job);
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(keys.len());
+        slots.resize_with(keys.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let job = &job;
+                    scope.spawn(move || {
+                        let mut done: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(key) = keys.get(i) else {
+                                break;
+                            };
+                            done.push((i, job(key)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("sweep worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every cell computed"))
+            .collect()
+    }
+
+    /// The serial reference: same cells, same order, one thread.
+    pub fn run_serial<K, R, F>(keys: &[K], job: F) -> Vec<R>
+    where
+        F: Fn(&K) -> R,
+    {
+        keys.iter().map(job).collect()
     }
 }
 

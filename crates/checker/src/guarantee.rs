@@ -13,10 +13,13 @@
 //! millisecond clock this is exact for the paper's formula class.
 
 use crate::state::StateIndex;
-use hcm_core::{ItemId, SimTime, Term, Trace, Value};
+use hcm_core::{ItemId, SimTime, Sym, Term, Trace, Value};
 use hcm_rulelang::{CmpOp, Cond, CondEnv, Expr, GAtom, Guarantee, TimeExpr};
-use std::collections::{BTreeMap, BTreeSet};
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::rc::Rc;
 
 /// Why (or that) a guarantee failed, for one universal instantiation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,28 +114,109 @@ impl CondEnv for AtTime<'_> {
     }
 }
 
+/// Evaluation counters, exposed for observability and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Condition probes answered from the memo table.
+    pub probe_hits: u64,
+    /// Condition probes evaluated and recorded.
+    pub probe_misses: u64,
+    /// `@`-atom expansions answered from the satisfying-candidate
+    /// cache.
+    pub atom_hits: u64,
+    /// `@`-atom expansions swept over the static grid and recorded.
+    pub atom_misses: u64,
+    /// Total static grid points across all time variables (after
+    /// component pruning).
+    pub grid_points: u64,
+}
+
+#[derive(Default)]
+struct EvalCounters {
+    probe_hits: Cell<u64>,
+    probe_misses: Cell<u64>,
+    atom_hits: Cell<u64>,
+    atom_misses: Cell<u64>,
+    grid_points: Cell<u64>,
+}
+
+/// Memo key for a pure condition probe: condition node address,
+/// instant, and the condition's variable bindings in a fixed order.
+type ProbeKey = (usize, SimTime, Vec<Option<Value>>);
+
+/// Memo key for a single-variable `@` atom: condition node address,
+/// the occurrence's time offset, and the condition's variable
+/// bindings. The value is the ascending list of satisfying static
+/// candidates with their push counts.
+type AtKey = (usize, i64, Vec<Option<Value>>);
+type AtSat = Rc<Vec<(SimTime, u32)>>;
+
 /// The evaluator.
 pub struct Evaluator<'a> {
-    idx: StateIndex,
+    idx: Cow<'a, StateIndex>,
     horizon: SimTime,
-    _trace: &'a Trace,
+    /// Pure-probe memo: number of satisfying pushes (all of which are
+    /// clones of the probed env — see [`Evaluator::probe_memoized`]).
+    probe_memo: RefCell<HashMap<ProbeKey, u32>>,
+    /// Per-atom satisfying-candidate cache (see
+    /// [`Evaluator::at_sat_cached`]).
+    at_memo: RefCell<HashMap<AtKey, AtSat>>,
+    /// Condition node address → its variable names, sorted.
+    cond_vars_cache: RefCell<HashMap<usize, Rc<[String]>>>,
+    counters: EvalCounters,
 }
 
 impl<'a> Evaluator<'a> {
     /// Build an evaluator over `trace`, with the quantification horizon
     /// defaulting to the trace's end time.
     #[must_use]
-    pub fn new(trace: &'a Trace, horizon: Option<SimTime>) -> Self {
+    pub fn new(trace: &Trace, horizon: Option<SimTime>) -> Evaluator<'static> {
+        let horizon = horizon.unwrap_or_else(|| trace.end_time());
         Evaluator {
-            idx: StateIndex::build(trace),
-            horizon: horizon.unwrap_or_else(|| trace.end_time()),
-            _trace: trace,
+            idx: Cow::Owned(StateIndex::build(trace)),
+            horizon,
+            probe_memo: RefCell::new(HashMap::new()),
+            at_memo: RefCell::new(HashMap::new()),
+            cond_vars_cache: RefCell::new(HashMap::new()),
+            counters: EvalCounters::default(),
+        }
+    }
+
+    /// Build an evaluator over a prebuilt [`StateIndex`] (shared across
+    /// workers by the parallel driver), with the horizon defaulting to
+    /// the index's end time.
+    #[must_use]
+    pub fn with_index(idx: &'a StateIndex, horizon: Option<SimTime>) -> Self {
+        Evaluator {
+            horizon: horizon.unwrap_or_else(|| idx.end_time()),
+            idx: Cow::Borrowed(idx),
+            probe_memo: RefCell::new(HashMap::new()),
+            at_memo: RefCell::new(HashMap::new()),
+            cond_vars_cache: RefCell::new(HashMap::new()),
+            counters: EvalCounters::default(),
+        }
+    }
+
+    /// Counters accumulated by every `check` on this evaluator.
+    #[must_use]
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            probe_hits: self.counters.probe_hits.get(),
+            probe_misses: self.counters.probe_misses.get(),
+            atom_hits: self.counters.atom_hits.get(),
+            atom_misses: self.counters.atom_misses.get(),
+            grid_points: self.counters.grid_points.get(),
         }
     }
 
     /// Evaluate a guarantee.
     #[must_use]
     pub fn check(&self, g: &Guarantee) -> GuaranteeReport {
+        // Both caches key on condition node addresses, which are only
+        // stable within one guarantee's lifetime.
+        self.probe_memo.borrow_mut().clear();
+        self.at_memo.borrow_mut().clear();
+        self.cond_vars_cache.borrow_mut().clear();
         let static_cands = self.static_candidates(g);
         let param_vars = collect_param_vars(g);
         let param_cands = self.param_candidates(g, &param_vars);
@@ -219,20 +303,28 @@ impl<'a> Evaluator<'a> {
     /// Solve a conjunction of atoms: extend each env through every
     /// atom, enumerating unassigned time variables from the candidate
     /// grid. When `exhaustive` (LHS), all satisfying envs are returned;
-    /// otherwise the search still returns every witness but callers
-    /// only need emptiness.
+    /// otherwise the search runs depth-first and stops at the first
+    /// full witness — callers only need emptiness.
     fn solve(
         &self,
         atoms: &[GAtom],
         envs: Vec<Env>,
         cands: &BTreeMap<String, Vec<SimTime>>,
-        _exhaustive: bool,
+        exhaustive: bool,
     ) -> Vec<Env> {
+        if !exhaustive {
+            for mut env in envs {
+                if self.witness_search(atoms, atoms, &mut env, cands) {
+                    return vec![env];
+                }
+            }
+            return Vec::new();
+        }
         let mut current = envs;
         for atom in atoms {
             let mut next = Vec::new();
-            for env in &current {
-                self.expand_atom(atom, atoms, env, cands, &mut next);
+            for mut env in current {
+                self.expand_atom(atom, atoms, &mut env, cands, &mut next);
             }
             current = next;
             if current.is_empty() {
@@ -240,6 +332,27 @@ impl<'a> Evaluator<'a> {
             }
         }
         current
+    }
+
+    /// Depth-first witness search over `remaining`, early-exiting on
+    /// the first environment that satisfies the whole conjunction.
+    /// `all` is the full conjunction (dynamic candidate derivation in
+    /// [`Evaluator::expand_atom`] looks at every atom, not just the
+    /// one being expanded).
+    fn witness_search(
+        &self,
+        remaining: &[GAtom],
+        all: &[GAtom],
+        env: &mut Env,
+        cands: &BTreeMap<String, Vec<SimTime>>,
+    ) -> bool {
+        let Some((first, rest)) = remaining.split_first() else {
+            return true;
+        };
+        let mut exts = Vec::new();
+        self.expand_atom(first, all, env, cands, &mut exts);
+        exts.into_iter()
+            .any(|mut e| self.witness_search(rest, all, &mut e, cands))
     }
 
     /// All extensions of `env` satisfying `atom`. `all_atoms` is the
@@ -252,7 +365,7 @@ impl<'a> Evaluator<'a> {
         &self,
         atom: &GAtom,
         all_atoms: &[GAtom],
-        env: &Env,
+        env: &mut Env,
         cands: &BTreeMap<String, Vec<SimTime>>,
         out: &mut Vec<Env>,
     ) {
@@ -268,13 +381,13 @@ impl<'a> Evaluator<'a> {
             .into_iter()
             .collect();
         if let Some(v) = unassigned.first() {
-            let mut candidates: BTreeSet<SimTime> =
-                cands.get(*v).into_iter().flatten().copied().collect();
+            let statics: &[SimTime] = cands.get(*v).map_or(&[], Vec::as_slice);
             // Candidates derived from already-assigned variables that
             // any TimeCmp atom of the conjunction relates `v` to
             // (e.g. `t2 ≤ t1` / `t1 − κ < t2` with `t1` fixed): the
             // other side's value, corrected for `v`'s own offset, with
             // ±1 ms for strictness.
+            let mut dynamic: BTreeSet<SimTime> = BTreeSet::new();
             for other in all_atoms {
                 let GAtom::TimeCmp(a, _, b) = other else {
                     continue;
@@ -304,17 +417,71 @@ impl<'a> Evaluator<'a> {
                         for delta in [-1i64, 0, 1] {
                             let ms = o - my_shift + delta;
                             if ms >= 0 && ms as u64 <= self.horizon.as_millis() {
-                                candidates.insert(SimTime::from_millis(ms as u64));
+                                dynamic.insert(SimTime::from_millis(ms as u64));
                             }
                         }
                     }
                 }
             }
-            for c in candidates {
-                let mut e = env.clone();
-                e.times.insert((*v).to_owned(), c);
-                self.expand_atom(atom, all_atoms, &e, cands, out);
+
+            // Fast path: a single-variable `@` atom over a fully-bound
+            // condition. Its satisfying static candidates depend only
+            // on (condition, bindings), so they are cached and
+            // replayed; only the env-dependent dynamic candidates are
+            // probed individually. Interleaving keeps the output order
+            // identical to the generic union enumeration below.
+            if let GAtom::At(cond, te) = atom {
+                let (off, applies) = match te {
+                    TimeExpr::Var(name) => (0i64, name == *v),
+                    TimeExpr::Offset(name, off) => (*off, name == *v),
+                    TimeExpr::Const(_) => (0, false),
+                };
+                let cvars = self.cond_vars_of(cond);
+                if applies && cvars.iter().all(|cv| env.vars.contains_key(cv)) {
+                    let sat = self.at_sat_cached(cond, off, statics, env, &cvars);
+                    let vkey = (*v).to_owned();
+                    env.times.insert(vkey.clone(), SimTime::ZERO);
+                    let mut si = sat.iter().peekable();
+                    let mut di = dynamic
+                        .iter()
+                        .filter(|d| statics.binary_search(d).is_err())
+                        .peekable();
+                    loop {
+                        let take_static = match (si.peek(), di.peek()) {
+                            (Some(&&(ts, _)), Some(&&td)) => ts < td,
+                            (Some(_), None) => true,
+                            (None, Some(_)) => false,
+                            (None, None) => break,
+                        };
+                        if take_static {
+                            let &(ts, n) = si.next().expect("peeked");
+                            *env.times.get_mut(&vkey).expect("just inserted") = ts;
+                            for _ in 0..n {
+                                out.push(env.clone());
+                            }
+                        } else {
+                            let &td = di.next().expect("peeked");
+                            *env.times.get_mut(&vkey).expect("just inserted") = td;
+                            self.expand_atom(atom, all_atoms, env, cands, out);
+                        }
+                    }
+                    env.times.remove(&vkey);
+                    return;
+                }
             }
+
+            // Assign in place and undo afterwards: candidate counts
+            // run into the millions on dense traces, and cloning the
+            // whole env per candidate dominated evaluation time.
+            let mut candidates: BTreeSet<SimTime> = statics.iter().copied().collect();
+            candidates.extend(&dynamic);
+            let vkey = (*v).to_owned();
+            env.times.insert(vkey.clone(), SimTime::ZERO);
+            for c in candidates {
+                *env.times.get_mut(&vkey).expect("just inserted") = c;
+                self.expand_atom(atom, all_atoms, env, cands, out);
+            }
+            env.times.remove(&vkey);
             return;
         }
 
@@ -407,7 +574,128 @@ impl<'a> Evaluator<'a> {
     /// against an unbound variable binds it (the paper's implicit data
     /// binding); `@@`/`@?` evaluation forbids it because a binding
     /// valid at one instant must not leak to others.
+    ///
+    /// Pure evaluations (those that cannot bind) are memoized — see
+    /// [`Evaluator::probe_memoized`].
     fn eval_cond(&self, cond: &Cond, t: SimTime, env: &Env, allow_bind: bool, out: &mut Vec<Env>) {
+        if let Some(n) = self.probe_memoized(cond, t, env, allow_bind) {
+            for _ in 0..n {
+                out.push(env.clone());
+            }
+            return;
+        }
+        self.eval_cond_raw(cond, t, env, allow_bind, out);
+    }
+
+    /// Memoized condition probe. A *pure* evaluation — one that cannot
+    /// bind new variables — pushes only clones of `env`, and how many
+    /// is a function of (condition node, instant, the bindings of the
+    /// condition's own variables). So the memo stores the push *count*
+    /// (a count, not a boolean: `Or` pushes one env per satisfied
+    /// branch and replay must preserve that multiplicity). With
+    /// `allow_bind` the evaluation is pure exactly when every
+    /// condition variable is already bound; without it, always.
+    /// Returns `None` when not memoizable.
+    fn probe_memoized(&self, cond: &Cond, t: SimTime, env: &Env, allow_bind: bool) -> Option<u32> {
+        let vars = self.cond_vars_of(cond);
+        if allow_bind && !vars.iter().all(|v| env.vars.contains_key(v)) {
+            return None;
+        }
+        let key = (
+            cond as *const Cond as usize,
+            t,
+            vars.iter()
+                .map(|v| env.vars.get(v).cloned())
+                .collect::<Vec<_>>(),
+        );
+        if let Some(&n) = self.probe_memo.borrow().get(&key) {
+            self.counters
+                .probe_hits
+                .set(self.counters.probe_hits.get() + 1);
+            return Some(n);
+        }
+        let mut probe = Vec::new();
+        self.eval_cond_raw(cond, t, env, allow_bind, &mut probe);
+        let n = u32::try_from(probe.len()).expect("probe count overflow");
+        self.probe_memo.borrow_mut().insert(key, n);
+        self.counters
+            .probe_misses
+            .set(self.counters.probe_misses.get() + 1);
+        Some(n)
+    }
+
+    /// Satisfying static candidates for a single-variable `@` atom
+    /// over a fully-bound condition: `(candidate, push count)` pairs,
+    /// ascending, cached per (condition node, occurrence offset,
+    /// bindings). `off` is the occurrence's own offset (`cond @ v +
+    /// off` probes at `candidate + off`); out-of-horizon probes yield
+    /// nothing, exactly as in the ground evaluation.
+    fn at_sat_cached(
+        &self,
+        cond: &Cond,
+        off: i64,
+        statics: &[SimTime],
+        env: &Env,
+        cvars: &[String],
+    ) -> AtSat {
+        let key = (
+            cond as *const Cond as usize,
+            off,
+            cvars
+                .iter()
+                .map(|v| env.vars.get(v).cloned())
+                .collect::<Vec<_>>(),
+        );
+        if let Some(sat) = self.at_memo.borrow().get(&key) {
+            self.counters
+                .atom_hits
+                .set(self.counters.atom_hits.get() + 1);
+            return Rc::clone(sat);
+        }
+        let horizon_ms = self.horizon.as_millis() as i64;
+        let mut sat = Vec::new();
+        for &c in statics {
+            let ms = c.as_millis() as i64 + off;
+            if !(0..=horizon_ms).contains(&ms) {
+                continue;
+            }
+            let mut probe = Vec::new();
+            self.eval_cond_raw(cond, SimTime::from_millis(ms as u64), env, true, &mut probe);
+            if !probe.is_empty() {
+                sat.push((c, u32::try_from(probe.len()).expect("probe count overflow")));
+            }
+        }
+        let sat: AtSat = Rc::new(sat);
+        self.at_memo.borrow_mut().insert(key, Rc::clone(&sat));
+        self.counters
+            .atom_misses
+            .set(self.counters.atom_misses.get() + 1);
+        sat
+    }
+
+    /// The (sorted) variable names of a condition, cached per node.
+    fn cond_vars_of(&self, cond: &Cond) -> Rc<[String]> {
+        let key = cond as *const Cond as usize;
+        if let Some(vs) = self.cond_vars_cache.borrow().get(&key) {
+            return Rc::clone(vs);
+        }
+        let mut set = BTreeSet::new();
+        cond_vars(cond, &mut set);
+        let vs: Rc<[String]> = set.into_iter().collect();
+        self.cond_vars_cache
+            .borrow_mut()
+            .insert(key, Rc::clone(&vs));
+        vs
+    }
+
+    fn eval_cond_raw(
+        &self,
+        cond: &Cond,
+        t: SimTime,
+        env: &Env,
+        allow_bind: bool,
+        out: &mut Vec<Env>,
+    ) {
         match cond {
             Cond::True => out.push(env.clone()),
             Cond::And(a, b) => {
@@ -480,7 +768,7 @@ impl<'a> Evaluator<'a> {
     fn interval_grid(&self, cond: &Cond, a: SimTime, b: SimTime) -> Vec<SimTime> {
         let mut grid: BTreeSet<SimTime> = [a, b].into_iter().collect();
         for base in cond_bases(cond) {
-            for t in self.idx.breakpoints_by_base(&base) {
+            for &t in self.idx.breakpoints_by_base(base) {
                 if t >= a && t <= b {
                     grid.insert(t);
                 }
@@ -489,69 +777,108 @@ impl<'a> Evaluator<'a> {
         grid.into_iter().collect()
     }
 
-    /// Static per-variable time candidates (see crate docs).
+    /// Static per-variable time candidates: the salient grid.
+    ///
+    /// A variable's grid must include, for every atom that can *reach*
+    /// it through shared atoms, the instants where that atom's truth
+    /// can change — a universal `t1` fails exactly when `t1 - κ`
+    /// crosses a change point of the *witness* item, so per-atom grids
+    /// are not sound. But a single global set (every variable sees
+    /// every atom's breakpoints and every offset) over-approximates:
+    /// variables in disjoint linkage components never interact — no
+    /// atom mentions both, so satisfying assignments factorize — and
+    /// each component can be gridded from its own atoms alone. We take
+    /// connected components of the "shares an atom" relation (each
+    /// atom's time-variable set is a clique) and give every component
+    /// its own base-instant and offset sets.
     fn static_candidates(&self, g: &Guarantee) -> BTreeMap<String, Vec<SimTime>> {
-        let mut offsets: BTreeSet<i64> = [0].into_iter().collect();
-        let mut per_var: BTreeMap<String, BTreeSet<SimTime>> = BTreeMap::new();
         let horizon_ms = self.horizon.as_millis() as i64;
+        let atoms: Vec<&GAtom> = g.lhs.iter().chain(&g.rhs).collect();
 
-        // Gather every offset used anywhere.
-        for atom in g.lhs.iter().chain(&g.rhs) {
-            let tes: Vec<&TimeExpr> = match atom {
-                GAtom::At(_, t) => vec![t],
-                GAtom::Throughout(_, a, b) | GAtom::Sometime(_, a, b) => vec![a, b],
-                GAtom::TimeCmp(a, _, b) => vec![a, b],
-            };
-            for te in tes {
-                if let TimeExpr::Offset(_, off) = te {
-                    offsets.insert(*off);
-                    offsets.insert(-*off);
+        // Union-find over time variables; each atom unions its set.
+        let mut var_ix: BTreeMap<String, usize> = BTreeMap::new();
+        for atom in &atoms {
+            for v in atom.time_vars() {
+                let n = var_ix.len();
+                var_ix.entry(v.to_owned()).or_insert(n);
+            }
+        }
+        let mut parent: Vec<usize> = (0..var_ix.len()).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for atom in &atoms {
+            let mut ids = atom.time_vars().into_iter().map(|v| var_ix[v]);
+            if let Some(first) = ids.next() {
+                let root = find(&mut parent, first);
+                for i in ids {
+                    let r = find(&mut parent, i);
+                    parent[r] = root;
                 }
             }
         }
 
-        // Base instants where any atom's truth can change. These are
-        // shared across all time variables: a time comparison can link
-        // one variable's window to another atom's item breakpoints (a
-        // universal `t1` fails exactly when `t1 - κ` crosses a change
-        // point of the *witness* item), so per-atom candidate sets are
-        // not sound.
-        let mut base_ts: BTreeSet<SimTime> = [SimTime::ZERO, self.horizon].into_iter().collect();
-        for atom in g.lhs.iter().chain(&g.rhs) {
+        // Per-component facts: instants where any member atom's truth
+        // can change (condition-item breakpoints; absolute comparison
+        // bounds like `t >= 62100s`, which candidates must straddle),
+        // plus member offsets. Offsets are symmetrized — comparisons
+        // can order the variables either way, so an offset shifts
+        // grids in both directions.
+        struct Comp {
+            base_ts: BTreeSet<SimTime>,
+            offsets: BTreeSet<i64>,
+        }
+        let mut comps: BTreeMap<usize, Comp> = BTreeMap::new();
+        for atom in &atoms {
+            let Some(&first) = atom.time_vars().first().map(|v| &var_ix[*v]) else {
+                continue;
+            };
+            let root = find(&mut parent, first);
+            let comp = comps.entry(root).or_insert_with(|| Comp {
+                base_ts: [SimTime::ZERO, self.horizon].into_iter().collect(),
+                offsets: [0].into_iter().collect(),
+            });
             match atom {
                 GAtom::At(c, _) | GAtom::Throughout(c, _, _) | GAtom::Sometime(c, _, _) => {
                     for base in cond_bases(c) {
-                        base_ts.extend(self.idx.breakpoints_by_base(&base));
+                        comp.base_ts.extend(self.idx.breakpoints_by_base(base));
                     }
                 }
                 GAtom::TimeCmp(a, _, b) => {
-                    // Absolute bounds (`t >= 62100s`) are breakpoints of
-                    // the comparison's truth: candidates must straddle
-                    // them.
                     for te in [a, b] {
                         if let TimeExpr::Const(c) = te {
-                            base_ts.insert(*c);
+                            comp.base_ts.insert(*c);
                         }
                     }
                 }
             }
+            for te in atom_time_exprs(atom) {
+                if let TimeExpr::Offset(_, off) = te {
+                    comp.offsets.insert(*off);
+                    comp.offsets.insert(-*off);
+                }
+            }
         }
 
-        for atom in g.lhs.iter().chain(&g.rhs) {
-            let tes: Vec<&TimeExpr> = match atom {
-                GAtom::At(_, t) => vec![t],
-                GAtom::Throughout(_, a, b) | GAtom::Sometime(_, a, b) => vec![a, b],
-                GAtom::TimeCmp(a, _, b) => vec![a, b],
-            };
-            for te in tes {
+        let mut per_var: BTreeMap<String, BTreeSet<SimTime>> = BTreeMap::new();
+        for atom in &atoms {
+            for te in atom_time_exprs(atom) {
                 let (var, shift) = match te {
                     TimeExpr::Var(v) => (v, 0i64),
                     TimeExpr::Offset(v, off) => (v, *off),
                     TimeExpr::Const(_) => continue,
                 };
+                let root = find(&mut parent, var_ix[var.as_str()]);
+                let Some(comp) = comps.get(&root) else {
+                    continue;
+                };
                 let entry = per_var.entry(var.clone()).or_default();
-                for &bt in &base_ts {
-                    for &off in &offsets {
+                for &bt in &comp.base_ts {
+                    for &off in &comp.offsets {
                         for delta in [-1i64, 0, 1] {
                             // Candidate v such that v + shift lands near
                             // a breakpoint (possibly offset-shifted).
@@ -564,10 +891,15 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
-        per_var
+        let grid: BTreeMap<String, Vec<SimTime>> = per_var
             .into_iter()
             .map(|(k, v)| (k, v.into_iter().collect()))
-            .collect()
+            .collect();
+        let points: u64 = grid.values().map(|v| v.len() as u64).sum();
+        self.counters
+            .grid_points
+            .set(self.counters.grid_points.get() + points);
+        grid
     }
 
     /// Candidate values for parameter variables: the values appearing
@@ -584,7 +916,7 @@ impl<'a> Evaluator<'a> {
                     continue;
                 }
                 let entry = out.entry(var).or_default();
-                for item in self.idx.items_with_base(&base) {
+                for item in self.idx.items_with_base(base) {
                     if let Some(v) = item.params.get(pos) {
                         entry.insert(v.clone());
                     }
@@ -611,11 +943,82 @@ pub fn check_guarantee(trace: &Trace, g: &Guarantee, horizon: Option<SimTime>) -
     Evaluator::new(trace, horizon).check(g)
 }
 
+/// Check a guarantee and return the evaluator's counters alongside.
+#[must_use]
+pub fn check_guarantee_with_stats(
+    trace: &Trace,
+    g: &Guarantee,
+    horizon: Option<SimTime>,
+) -> (GuaranteeReport, EvalStats) {
+    let ev = Evaluator::new(trace, horizon);
+    let report = ev.check(g);
+    let stats = ev.stats();
+    (report, stats)
+}
+
+/// Check several guarantees against one trace concurrently: one worker
+/// per guarantee over a shared [`StateIndex`], `std::thread::scope` so
+/// nothing outlives the call. Guarantees are independent (each `check`
+/// touches only its own evaluator state), and results are joined in
+/// input order, so the output is identical to checking serially —
+/// regardless of scheduling.
+#[must_use]
+pub fn check_guarantees_parallel(
+    trace: &Trace,
+    gs: &[Guarantee],
+    horizon: Option<SimTime>,
+) -> Vec<GuaranteeReport> {
+    check_guarantees_parallel_stats(trace, gs, horizon)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// [`check_guarantees_parallel`], also returning each worker's
+/// evaluation counters (for observability wiring).
+#[must_use]
+pub fn check_guarantees_parallel_stats(
+    trace: &Trace,
+    gs: &[Guarantee],
+    horizon: Option<SimTime>,
+) -> Vec<(GuaranteeReport, EvalStats)> {
+    let idx = StateIndex::build(trace);
+    let horizon = horizon.unwrap_or_else(|| trace.end_time());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = gs
+            .iter()
+            .map(|g| {
+                let idx = &idx;
+                scope.spawn(move || {
+                    let ev = Evaluator::with_index(idx, Some(horizon));
+                    let report = ev.check(g);
+                    let stats = ev.stats();
+                    (report, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("guarantee worker panicked"))
+            .collect()
+    })
+}
+
+/// The time expressions a single atom mentions.
+fn atom_time_exprs(atom: &GAtom) -> Vec<&TimeExpr> {
+    match atom {
+        GAtom::At(_, t) => vec![t],
+        GAtom::Throughout(_, a, b) | GAtom::Sometime(_, a, b) | GAtom::TimeCmp(a, _, b) => {
+            vec![a, b]
+        }
+    }
+}
+
 /// Item base names a condition mentions.
-fn cond_bases(c: &Cond) -> Vec<String> {
-    fn expr(e: &Expr, out: &mut Vec<String>) {
+fn cond_bases(c: &Cond) -> Vec<Sym> {
+    fn expr(e: &Expr, out: &mut Vec<Sym>) {
         match e {
-            Expr::Item(p) => out.push(p.base.clone()),
+            Expr::Item(p) => out.push(p.base),
             Expr::Neg(a) | Expr::Abs(a) => expr(a, out),
             Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
                 expr(a, out);
@@ -624,7 +1027,7 @@ fn cond_bases(c: &Cond) -> Vec<String> {
             _ => {}
         }
     }
-    fn cond(c: &Cond, out: &mut Vec<String>) {
+    fn cond(c: &Cond, out: &mut Vec<Sym>) {
         match c {
             Cond::Cmp(a, _, b) => {
                 expr(a, out);
@@ -635,7 +1038,7 @@ fn cond_bases(c: &Cond) -> Vec<String> {
                 cond(b, out);
             }
             Cond::Not(a) => cond(a, out),
-            Cond::Exists(p) => out.push(p.base.clone()),
+            Cond::Exists(p) => out.push(p.base),
             Cond::True => {}
         }
     }
@@ -647,13 +1050,13 @@ fn cond_bases(c: &Cond) -> Vec<String> {
 }
 
 /// `(base, position, var)` for each variable used as an item parameter.
-fn cond_param_positions(c: &Cond) -> Vec<(String, usize, String)> {
-    fn expr(e: &Expr, out: &mut Vec<(String, usize, String)>) {
+fn cond_param_positions(c: &Cond) -> Vec<(Sym, usize, String)> {
+    fn expr(e: &Expr, out: &mut Vec<(Sym, usize, String)>) {
         match e {
             Expr::Item(p) => {
                 for (i, t) in p.params.iter().enumerate() {
                     if let Term::Var(v) = t {
-                        out.push((p.base.clone(), i, v.clone()));
+                        out.push((p.base, i, v.clone()));
                     }
                 }
             }
@@ -665,7 +1068,7 @@ fn cond_param_positions(c: &Cond) -> Vec<(String, usize, String)> {
             _ => {}
         }
     }
-    fn cond(c: &Cond, out: &mut Vec<(String, usize, String)>) {
+    fn cond(c: &Cond, out: &mut Vec<(Sym, usize, String)>) {
         match c {
             Cond::Cmp(a, _, b) => {
                 expr(a, out);
@@ -679,7 +1082,7 @@ fn cond_param_positions(c: &Cond) -> Vec<(String, usize, String)> {
             Cond::Exists(p) => {
                 for (i, t) in p.params.iter().enumerate() {
                     if let Term::Var(v) = t {
-                        out.push((p.base.clone(), i, v.clone()));
+                        out.push((p.base, i, v.clone()));
                     }
                 }
             }
@@ -691,50 +1094,54 @@ fn cond_param_positions(c: &Cond) -> Vec<(String, usize, String)> {
     out
 }
 
+/// Variable names an expression mentions.
+fn expr_vars(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Var(v) => {
+            out.insert(v.clone());
+        }
+        Expr::Item(p) => {
+            for t in &p.params {
+                if let Term::Var(v) = t {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        Expr::Neg(a) | Expr::Abs(a) => expr_vars(a, out),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+            expr_vars(a, out);
+            expr_vars(b, out);
+        }
+        Expr::Lit(_) => {}
+    }
+}
+
+/// Variable names a condition mentions (data and item-parameter).
+fn cond_vars(c: &Cond, out: &mut BTreeSet<String>) {
+    match c {
+        Cond::Cmp(a, _, b) => {
+            expr_vars(a, out);
+            expr_vars(b, out);
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            cond_vars(a, out);
+            cond_vars(b, out);
+        }
+        Cond::Not(a) => cond_vars(a, out),
+        Cond::Exists(p) => {
+            for t in &p.params {
+                if let Term::Var(v) = t {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        Cond::True => {}
+    }
+}
+
 /// Every variable name (data or time) a group of atoms mentions.
-fn atoms_vars(atoms: &[GAtom]) -> std::collections::BTreeSet<String> {
-    fn expr_vars(e: &Expr, out: &mut std::collections::BTreeSet<String>) {
-        match e {
-            Expr::Var(v) => {
-                out.insert(v.clone());
-            }
-            Expr::Item(p) => {
-                for t in &p.params {
-                    if let Term::Var(v) = t {
-                        out.insert(v.clone());
-                    }
-                }
-            }
-            Expr::Neg(a) | Expr::Abs(a) => expr_vars(a, out),
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
-                expr_vars(a, out);
-                expr_vars(b, out);
-            }
-            Expr::Lit(_) => {}
-        }
-    }
-    fn cond_vars(c: &Cond, out: &mut std::collections::BTreeSet<String>) {
-        match c {
-            Cond::Cmp(a, _, b) => {
-                expr_vars(a, out);
-                expr_vars(b, out);
-            }
-            Cond::And(a, b) | Cond::Or(a, b) => {
-                cond_vars(a, out);
-                cond_vars(b, out);
-            }
-            Cond::Not(a) => cond_vars(a, out),
-            Cond::Exists(p) => {
-                for t in &p.params {
-                    if let Term::Var(v) = t {
-                        out.insert(v.clone());
-                    }
-                }
-            }
-            Cond::True => {}
-        }
-    }
-    let mut out = std::collections::BTreeSet::new();
+fn atoms_vars(atoms: &[GAtom]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
     for a in atoms {
         for v in a.time_vars() {
             out.insert(v.to_owned());

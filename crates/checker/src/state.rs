@@ -4,8 +4,11 @@
 //! [`StateIndex`] holds, per item, the sorted list of `(time, index,
 //! value)` change points, supporting O(log n) point queries and the
 //! breakpoint enumeration the guarantee evaluator's salient grid needs.
+//! Per-item and per-base breakpoint lists and per-base item lists are
+//! precomputed once in [`StateIndex::build`] and handed out as slices,
+//! so grid construction never allocates per query.
 
-use hcm_core::{ItemId, SimTime, Trace, Value};
+use hcm_core::{ItemId, SimTime, Sym, Trace, Value};
 use std::collections::HashMap;
 
 /// Per-item change history with binary-search lookups.
@@ -14,6 +17,12 @@ pub struct StateIndex {
     /// item → changes as (time, trace index, value), time-ordered.
     /// Initial values sit at `(SimTime::ZERO, usize::MAX as sentinel)`.
     changes: HashMap<ItemId, Vec<(SimTime, usize, Value)>>,
+    /// item → deduped change times (insertion order = time order).
+    item_bps: HashMap<ItemId, Vec<SimTime>>,
+    /// base → sorted deduped change times over every item of the base.
+    base_bps: HashMap<Sym, Vec<SimTime>>,
+    /// base → items of that base, sorted.
+    base_items: HashMap<Sym, Vec<ItemId>>,
     end: SimTime,
 }
 
@@ -23,7 +32,7 @@ impl StateIndex {
     pub fn build(trace: &Trace) -> Self {
         let mut changes: HashMap<ItemId, Vec<(SimTime, usize, Value)>> = HashMap::new();
         for item in trace.items() {
-            if let Some(v) = trace.initial(&item) {
+            if let Some(v) = trace.initial(item) {
                 changes.entry(item.clone()).or_default().push((
                     SimTime::ZERO,
                     usize::MAX,
@@ -39,8 +48,28 @@ impl StateIndex {
                     .push((e.time, i, v.clone()));
             }
         }
+        let mut item_bps: HashMap<ItemId, Vec<SimTime>> = HashMap::with_capacity(changes.len());
+        let mut base_bps: HashMap<Sym, Vec<SimTime>> = HashMap::new();
+        let mut base_items: HashMap<Sym, Vec<ItemId>> = HashMap::new();
+        for (item, ch) in &changes {
+            let mut ts: Vec<SimTime> = ch.iter().map(|(t, _, _)| *t).collect();
+            ts.dedup();
+            base_bps.entry(item.base).or_default().extend(ts.iter());
+            base_items.entry(item.base).or_default().push(item.clone());
+            item_bps.insert(item.clone(), ts);
+        }
+        for ts in base_bps.values_mut() {
+            ts.sort();
+            ts.dedup();
+        }
+        for items in base_items.values_mut() {
+            items.sort();
+        }
         StateIndex {
             changes,
+            item_bps,
+            base_bps,
+            base_items,
             end: trace.end_time(),
         }
     }
@@ -64,42 +93,23 @@ impl StateIndex {
     }
 
     /// The change times of `item` (including the initial instant when
-    /// specified).
+    /// specified). Precomputed; no allocation.
     #[must_use]
-    pub fn breakpoints(&self, item: &ItemId) -> Vec<SimTime> {
-        let mut ts: Vec<SimTime> = self
-            .changes
-            .get(item)
-            .map(|ch| ch.iter().map(|(t, _, _)| *t).collect())
-            .unwrap_or_default();
-        ts.dedup();
-        ts
+    pub fn breakpoints(&self, item: &ItemId) -> &[SimTime] {
+        self.item_bps.get(item).map_or(&[], Vec::as_slice)
     }
 
-    /// Breakpoints of every item whose base name is `base`.
+    /// Breakpoints of every item whose base name is `base`, sorted and
+    /// deduplicated. Precomputed; no allocation.
     #[must_use]
-    pub fn breakpoints_by_base(&self, base: &str) -> Vec<SimTime> {
-        let mut ts: Vec<SimTime> = self
-            .changes
-            .iter()
-            .filter(|(item, _)| item.base == base)
-            .flat_map(|(_, ch)| ch.iter().map(|(t, _, _)| *t))
-            .collect();
-        ts.sort();
-        ts.dedup();
-        ts
+    pub fn breakpoints_by_base(&self, base: impl Into<Sym>) -> &[SimTime] {
+        self.base_bps.get(&base.into()).map_or(&[], Vec::as_slice)
     }
 
-    /// All items with a given base name.
+    /// All items with a given base name, sorted. Precomputed.
     #[must_use]
-    pub fn items_with_base(&self, base: &str) -> Vec<&ItemId> {
-        let mut v: Vec<&ItemId> = self
-            .changes
-            .keys()
-            .filter(|item| item.base == base)
-            .collect();
-        v.sort();
-        v
+    pub fn items_with_base(&self, base: impl Into<Sym>) -> &[ItemId] {
+        self.base_items.get(&base.into()).map_or(&[], Vec::as_slice)
     }
 
     /// The time of the last recorded event.
@@ -159,29 +169,43 @@ mod tests {
         let tr = mk_trace();
         let idx = StateIndex::build(&tr);
         let x = ItemId::plain("X");
-        let bps = idx.breakpoints(&x);
         assert_eq!(
-            bps,
-            vec![
+            idx.breakpoints(&x),
+            &[
                 SimTime::ZERO,
                 SimTime::from_secs(10),
                 SimTime::from_secs(20),
-                SimTime::from_secs(20),
                 SimTime::from_secs(30)
             ]
-            .into_iter()
-            .collect::<Vec<_>>()
-            .into_iter()
-            .fold(Vec::new(), |mut acc, t| {
-                if acc.last() != Some(&t) {
-                    acc.push(t);
-                }
-                acc
-            })
         );
         assert_eq!(idx.breakpoints_by_base("X").len(), 4);
         assert_eq!(idx.items_with_base("X").len(), 1);
         assert!(idx.items_with_base("Q").is_empty());
         assert_eq!(idx.end_time(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn per_base_breakpoints_union_items() {
+        let mut tr = Trace::new();
+        for (name, t) in [("e1", 10u64), ("e2", 25)] {
+            tr.push(
+                SimTime::from_secs(t),
+                SiteId::new(0),
+                EventDesc::Ws {
+                    item: ItemId::with("salary", [Value::from(name)]),
+                    old: None,
+                    new: Value::Int(1),
+                },
+                None,
+                None,
+                None,
+            );
+        }
+        let idx = StateIndex::build(&tr);
+        assert_eq!(
+            idx.breakpoints_by_base("salary"),
+            &[SimTime::from_secs(10), SimTime::from_secs(25)]
+        );
+        assert_eq!(idx.items_with_base("salary").len(), 2);
     }
 }

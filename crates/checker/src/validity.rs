@@ -147,7 +147,7 @@ pub fn check_validity(trace: &Trace, rules: &RuleSet) -> ValidityReport {
     // Replay: running state must match each write's recorded old value.
     let mut state: HashMap<ItemId, Value> = HashMap::new();
     for item in trace.items() {
-        if let Some(v) = trace.initial(&item) {
+        if let Some(v) = trace.initial(item) {
             state.insert(item.clone(), v.clone());
         }
     }

@@ -8,16 +8,21 @@
 //! is its template counterpart, where parameters may be variables or
 //! wild-cards, and is what interface and strategy rules mention.
 
+use crate::intern::Sym;
 use crate::template::{Bindings, Term};
 use crate::value::Value;
 use std::fmt;
 
 /// A ground data-item name: `base(p1, …, pk)`. `salary1("e42")` and
 /// `balance(17)` are items; `X` (no parameters) is an item too.
+///
+/// The base name is an interned [`Sym`]: equality, hashing and routing
+/// on items are O(1) on a `u32` symbol, and the string is only touched
+/// when formatting.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ItemId {
-    /// The base name, e.g. `salary1`.
-    pub base: String,
+    /// The interned base name, e.g. `salary1`.
+    pub base: Sym,
     /// Ground parameter values, empty for unparameterized items.
     pub params: Vec<Value>,
 }
@@ -25,7 +30,7 @@ pub struct ItemId {
 impl ItemId {
     /// An unparameterized item, e.g. `ItemId::plain("X")`.
     #[must_use]
-    pub fn plain(base: impl Into<String>) -> Self {
+    pub fn plain(base: impl Into<Sym>) -> Self {
         ItemId {
             base: base.into(),
             params: Vec::new(),
@@ -34,7 +39,7 @@ impl ItemId {
 
     /// A parameterized item, e.g. `ItemId::with("salary1", ["e42"])`.
     #[must_use]
-    pub fn with(base: impl Into<String>, params: impl IntoIterator<Item = Value>) -> Self {
+    pub fn with(base: impl Into<Sym>, params: impl IntoIterator<Item = Value>) -> Self {
         ItemId {
             base: base.into(),
             params: params.into_iter().collect(),
@@ -63,8 +68,8 @@ impl fmt::Display for ItemId {
 /// rule variable, `phone(*)` with a wild-card, or the ground `X`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ItemPattern {
-    /// The base name; must match the item's base exactly.
-    pub base: String,
+    /// The interned base name; must match the item's base exactly.
+    pub base: Sym,
     /// Parameter terms (variables, constants, wild-cards).
     pub params: Vec<Term>,
 }
@@ -72,7 +77,7 @@ pub struct ItemPattern {
 impl ItemPattern {
     /// An unparameterized pattern.
     #[must_use]
-    pub fn plain(base: impl Into<String>) -> Self {
+    pub fn plain(base: impl Into<Sym>) -> Self {
         ItemPattern {
             base: base.into(),
             params: Vec::new(),
@@ -81,7 +86,7 @@ impl ItemPattern {
 
     /// A parameterized pattern.
     #[must_use]
-    pub fn with(base: impl Into<String>, params: impl IntoIterator<Item = Term>) -> Self {
+    pub fn with(base: impl Into<Sym>, params: impl IntoIterator<Item = Term>) -> Self {
         ItemPattern {
             base: base.into(),
             params: params.into_iter().collect(),
@@ -115,7 +120,7 @@ impl ItemPattern {
             params.push(t.instantiate(bindings)?);
         }
         Some(ItemId {
-            base: self.base.clone(),
+            base: self.base,
             params,
         })
     }

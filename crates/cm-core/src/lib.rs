@@ -28,6 +28,7 @@
 
 pub mod error;
 pub mod event;
+pub mod intern;
 pub mod item;
 pub mod rule;
 pub mod site;
@@ -38,6 +39,7 @@ pub mod value;
 
 pub use error::CoreError;
 pub use event::{Event, EventDesc, EventId};
+pub use intern::Sym;
 pub use item::{ItemId, ItemPattern};
 pub use rule::{RuleId, RuleRegistry};
 pub use site::SiteId;

@@ -148,7 +148,7 @@ impl Expr {
                     params.push(v);
                 }
                 env.item(&ItemId {
-                    base: pat.base.clone(),
+                    base: pat.base,
                     params,
                 })
             }

@@ -157,7 +157,10 @@ impl Parser {
             }
             self.expect(&Tok::RParen)?;
         }
-        Ok(ItemPattern { base, params })
+        Ok(ItemPattern {
+            base: base.into(),
+            params,
+        })
     }
 
     fn parse_item(&mut self) -> Result<ItemPattern, ParseError> {

@@ -90,7 +90,10 @@ impl Gen {
     fn item_pattern(&mut self) -> ItemPattern {
         let base = self.item_base();
         let params = (0..self.usize_in(0, 2)).map(|_| self.term()).collect();
-        ItemPattern { base, params }
+        ItemPattern {
+            base: base.into(),
+            params,
+        }
     }
 
     fn duration(&mut self) -> SimDuration {

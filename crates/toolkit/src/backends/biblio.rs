@@ -119,7 +119,7 @@ impl RisBackend for BiblioBackend {
         let mut out = Vec::new();
         for rec in self.db.since(None) {
             let item = ItemId::with(
-                pattern.base.clone(),
+                pattern.base,
                 [
                     Value::from(rec.author.as_str()),
                     Value::from(rec.title.as_str()),

@@ -189,7 +189,7 @@ impl RisBackend for RelationalBackend {
     fn read(&self, item: &ItemId) -> Result<Value, RisError> {
         let tpl = self
             .commands
-            .get(&("read".to_owned(), item.base.clone()))
+            .get(&("read".to_owned(), item.base.as_str().to_owned()))
             .ok_or_else(|| {
                 RisError::Unsupported(format!("no `read` command template for `{}`", item.base))
             })?;

@@ -25,9 +25,9 @@
 //! ```
 
 use crate::registry::mentioned_bases;
-use hcm_core::{RuleId, RuleRegistry, SiteId, TemplateDesc};
+use hcm_core::{RuleId, RuleRegistry, SiteId, Sym, TemplateDesc};
 use hcm_rulelang::{parse_guarantee, parse_strategy_rule, Guarantee, SpecFile, StrategyRule};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// A strategy-compilation error.
@@ -50,11 +50,14 @@ fn err(msg: impl Into<String>) -> CompileError {
 }
 
 /// Where objects are located: item/event base name → site, plus which
-/// bases are CM-private.
+/// bases are CM-private. Keyed by interned [`Sym`]s so routing lookups
+/// hash a `u32` symbol instead of walking string keys; `&str` callers
+/// go through the interner (cold paths only — hot callers hold a `Sym`
+/// already).
 #[derive(Debug, Clone, Default)]
 pub struct Locator {
-    base_to_site: BTreeMap<String, SiteId>,
-    private: BTreeSet<String>,
+    base_to_site: HashMap<Sym, SiteId>,
+    private: HashSet<Sym>,
 }
 
 impl Locator {
@@ -65,27 +68,27 @@ impl Locator {
     }
 
     /// Locate a database item base at a site.
-    pub fn locate(&mut self, base: impl Into<String>, site: SiteId) {
+    pub fn locate(&mut self, base: impl Into<Sym>, site: SiteId) {
         self.base_to_site.insert(base.into(), site);
     }
 
     /// Locate a CM-private item base at a site's shell.
-    pub fn locate_private(&mut self, base: impl Into<String>, site: SiteId) {
+    pub fn locate_private(&mut self, base: impl Into<Sym>, site: SiteId) {
         let base = base.into();
-        self.private.insert(base.clone());
+        self.private.insert(base);
         self.base_to_site.insert(base, site);
     }
 
     /// The site of a base name.
     #[must_use]
-    pub fn site_of(&self, base: &str) -> Option<SiteId> {
-        self.base_to_site.get(base).copied()
+    pub fn site_of(&self, base: impl Into<Sym>) -> Option<SiteId> {
+        self.base_to_site.get(&base.into()).copied()
     }
 
     /// Whether a base names CM-private (shell-resident) data.
     #[must_use]
-    pub fn is_private(&self, base: &str) -> bool {
-        self.private.contains(base)
+    pub fn is_private(&self, base: impl Into<Sym>) -> bool {
+        self.private.contains(&base.into())
     }
 
     /// The site a template's event occurs at, if determined by its
@@ -95,7 +98,7 @@ impl Locator {
         match t {
             TemplateDesc::P { .. } | TemplateDesc::False => None,
             TemplateDesc::Custom { name, .. } => self.site_of(name),
-            other => other.item_pattern().and_then(|p| self.site_of(&p.base)),
+            other => other.item_pattern().and_then(|p| self.site_of(p.base)),
         }
     }
 }

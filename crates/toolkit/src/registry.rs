@@ -11,7 +11,7 @@
 //! propagate between shells and every registry applies the same
 //! transition rules, so any application can consult its local shell.
 
-use hcm_core::{SimTime, SiteId};
+use hcm_core::{SimTime, SiteId, Sym};
 use hcm_rulelang::{Cond, Expr, GAtom, Guarantee, TimeExpr};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -72,10 +72,10 @@ pub fn is_metric(g: &Guarantee) -> bool {
 
 /// Item base names mentioned by a guarantee (to derive involved sites).
 #[must_use]
-pub fn mentioned_bases(g: &Guarantee) -> Vec<String> {
-    fn walk_expr(e: &Expr, out: &mut Vec<String>) {
+pub fn mentioned_bases(g: &Guarantee) -> Vec<Sym> {
+    fn walk_expr(e: &Expr, out: &mut Vec<Sym>) {
         match e {
-            Expr::Item(p) => out.push(p.base.clone()),
+            Expr::Item(p) => out.push(p.base),
             Expr::Neg(a) | Expr::Abs(a) => walk_expr(a, out),
             Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
                 walk_expr(a, out);
@@ -84,7 +84,7 @@ pub fn mentioned_bases(g: &Guarantee) -> Vec<String> {
             Expr::Var(_) | Expr::Lit(_) => {}
         }
     }
-    fn walk_cond(c: &Cond, out: &mut Vec<String>) {
+    fn walk_cond(c: &Cond, out: &mut Vec<Sym>) {
         match c {
             Cond::Cmp(a, _, b) => {
                 walk_expr(a, out);
@@ -95,7 +95,7 @@ pub fn mentioned_bases(g: &Guarantee) -> Vec<String> {
                 walk_cond(b, out);
             }
             Cond::Not(a) => walk_cond(a, out),
-            Cond::Exists(p) => out.push(p.base.clone()),
+            Cond::Exists(p) => out.push(p.base),
             Cond::True => {}
         }
     }

@@ -26,7 +26,7 @@ use hcm_rulelang::ast::BindingsEnv;
 use hcm_rulelang::StrategyRule;
 use hcm_simkit::{Actor, ActorId, Ctx};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 /// Delay for shell→translator request submission (same machine).
@@ -142,6 +142,8 @@ pub struct ShellActor {
     rules: Vec<CompiledRule>,
     /// Indices into `rules` whose LHS this shell evaluates.
     my_rules: Vec<usize>,
+    /// Rule id → index into `rules` (remote fires look rules up by id).
+    rule_index: HashMap<RuleId, usize>,
     /// Indices of `P`-headed rules this shell arms timers for.
     periodic_rules: Vec<usize>,
     locator: Locator,
@@ -188,12 +190,14 @@ impl ShellActor {
             .filter(|(_, r)| r.lhs_site == site && matches!(r.rule.lhs, TemplateDesc::P { .. }))
             .map(|(i, _)| i)
             .collect();
+        let rule_index = rules.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
         ShellActor {
             site,
             translator,
             shells,
             rules,
             my_rules,
+            rule_index,
             periodic_rules,
             locator: strategy.locator.clone(),
             private,
@@ -319,7 +323,7 @@ impl ShellActor {
             now,
             "",
         );
-        let rule: StrategyRule = match self.rules.iter().find(|r| r.id == rule_id) {
+        let rule: StrategyRule = match self.rule_index.get(&rule_id).map(|&i| &self.rules[i]) {
             Some(r) => r.rule.clone(),
             None => panic!(
                 "shell at {} asked to fire unknown rule {rule_id}",
@@ -412,7 +416,7 @@ impl ShellActor {
                 // Writes on the RHS address CM-private data (remote
                 // database writes go through WR).
                 assert!(
-                    self.locator.is_private(&item.base),
+                    self.locator.is_private(item.base),
                     "W(...) on RHS must target CM-private data, got `{item}`"
                 );
                 let old = self

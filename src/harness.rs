@@ -7,9 +7,10 @@
 //! standard post-mortem (validity + every guarantee the strategy
 //! specification declared).
 
-use hcm_checker::guarantee::{check_guarantee, GuaranteeReport};
+use hcm_checker::guarantee::{check_guarantees_parallel_stats, GuaranteeReport};
 use hcm_checker::{check_validity, RuleSet, ValidityReport};
 use hcm_core::Trace;
+use hcm_obs::Scope;
 use hcm_toolkit::Scenario;
 
 /// Build the checker's rule set from a scenario: every site's interface
@@ -51,17 +52,33 @@ impl PostMortem {
 /// Snapshot the scenario's trace and check everything: the seven
 /// validity properties against the deployed rules, and each guarantee
 /// declared in the strategy specification.
+///
+/// Guarantees are checked concurrently (they are independent; see
+/// `check_guarantees_parallel`) and reported in declaration order.
+/// The checker's cache/grid counters are recorded into the scenario's
+/// metrics registry under `checker.*` — evaluation is deterministic,
+/// so this keeps `metrics_jsonl` byte-identical across runs of the
+/// same seed.
 #[must_use]
 pub fn post_mortem(scenario: &Scenario) -> PostMortem {
     let trace = scenario.trace();
     let rules = rule_set_of(scenario);
     let validity = check_validity(&trace, &rules);
-    let guarantees = scenario
-        .strategy
-        .guarantees
-        .iter()
-        .map(|g| check_guarantee(&trace, g, None))
-        .collect();
+    let checked = check_guarantees_parallel_stats(&trace, &scenario.strategy.guarantees, None);
+    let mut guarantees = Vec::with_capacity(checked.len());
+    let m = &scenario.obs.metrics;
+    for (report, stats) in checked {
+        m.add(Scope::Global, "checker.probe_hits", stats.probe_hits);
+        m.add(Scope::Global, "checker.probe_misses", stats.probe_misses);
+        m.add(Scope::Global, "checker.atom_cache_hits", stats.atom_hits);
+        m.add(
+            Scope::Global,
+            "checker.atom_cache_misses",
+            stats.atom_misses,
+        );
+        m.add(Scope::Global, "checker.grid_points", stats.grid_points);
+        guarantees.push(report);
+    }
     PostMortem {
         trace,
         validity,

@@ -73,7 +73,7 @@ fn engine_traces_are_valid_across_seeds() {
 fn corrupt(trace: &Trace, idx: usize, f: impl Fn(&hcm::core::Event) -> hcm::core::Event) -> Trace {
     let mut out = Trace::new();
     for item in trace.items() {
-        if let Some(v) = trace.initial(&item) {
+        if let Some(v) = trace.initial(item) {
             out.set_initial(item.clone(), v.clone());
         }
     }
@@ -170,7 +170,7 @@ fn seeded_corruptions_are_each_caught() {
     // P6: drop the N entirely — the notify obligation goes unfulfilled.
     let mut dropped = Trace::new();
     for item in trace.items() {
-        if let Some(v) = trace.initial(&item) {
+        if let Some(v) = trace.initial(item) {
             dropped.set_initial(item.clone(), v.clone());
         }
     }
