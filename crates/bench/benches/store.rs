@@ -1,0 +1,122 @@
+//! E16 bench — durable-store costs: codec encode/decode, WAL append
+//! (memory and file-backed), checkpointing, and crash-recovery replay.
+//!
+//! The interesting numbers are per-record, since every shell/translator
+//! durable mutation pays one append on the hot path.
+
+use hcm_bench::harness;
+use hcm_core::{ItemId, SimTime, Value};
+use hcm_store::{FileStore, LogRecord, MemStore, StateStore, StoreConfig};
+
+/// A representative mix of what shells and translators actually log.
+fn workload(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            let rec = match i % 4 {
+                0 => LogRecord::PrivateWrite {
+                    at: SimTime::from_millis(i as u64),
+                    item: ItemId::with("Cx", [Value::from(format!("e{}", i % 16))]),
+                    value: Value::Int(i as i64),
+                },
+                1 => LogRecord::RequestSent {
+                    at: SimTime::from_millis(i as u64),
+                    req_id: i as u64,
+                },
+                2 => LogRecord::RequestResolved { req_id: i as u64 },
+                _ => LogRecord::WritePerformed { req_id: i as u64 },
+            };
+            rec.encode()
+        })
+        .collect()
+}
+
+fn print_series() {
+    eprintln!("\n[E16] store costs vs log size (records | replay ms):");
+    for n in [1_000usize, 10_000, 50_000] {
+        let payloads = workload(n);
+        let mut store = MemStore::new();
+        for p in &payloads {
+            store.append(p).unwrap();
+        }
+        let t0 = std::time::Instant::now();
+        let rec = store.recover().unwrap();
+        let decoded = rec
+            .records
+            .iter()
+            .filter(|p| LogRecord::decode(p).is_ok())
+            .count();
+        assert_eq!(decoded, n);
+        eprintln!(
+            "  {:>8} records  {:>8.2} ms",
+            n,
+            t0.elapsed().as_secs_f64() * 1000.0
+        );
+    }
+}
+
+fn main() {
+    print_series();
+
+    let payloads = workload(10_000);
+    let mut timings = Vec::new();
+
+    timings.push(harness::time("encode_10k", 20, || {
+        workload(10_000).iter().map(Vec::len).sum::<usize>()
+    }));
+
+    let encoded = payloads.clone();
+    timings.push(harness::time("decode_10k", 20, || {
+        encoded
+            .iter()
+            .filter(|p| LogRecord::decode(p).is_ok())
+            .count()
+    }));
+
+    timings.push(harness::time("mem_append_10k", 20, || {
+        let mut store = MemStore::new();
+        for p in &payloads {
+            store.append(p).unwrap();
+        }
+        store.record_count()
+    }));
+
+    timings.push(harness::time("mem_recover_10k", 20, || {
+        let mut store = MemStore::new();
+        for p in &payloads {
+            store.append(p).unwrap();
+        }
+        store.recover().unwrap().records.len()
+    }));
+
+    // File-backed: real frames + CRCs on disk, with segment rotation.
+    let dir = std::env::temp_dir().join(format!("hcm-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    timings.push(harness::time("file_append_10k", 5, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = FileStore::open(&dir, StoreConfig::default()).unwrap();
+        let mut bytes = 0;
+        for p in &payloads {
+            bytes += store.append(p).unwrap();
+        }
+        bytes
+    }));
+    timings.push(harness::time("file_recover_10k", 5, || {
+        let mut store = FileStore::open(&dir, StoreConfig::default()).unwrap();
+        store.recover().unwrap().records.len()
+    }));
+    timings.push(harness::time("file_ckpt_every_64", 5, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = FileStore::open(&dir, StoreConfig::default()).unwrap();
+        let snapshot = vec![0xAB; 4096];
+        for (i, p) in payloads.iter().take(2_000).enumerate() {
+            store.append(p).unwrap();
+            if i % 64 == 63 {
+                store.checkpoint(&snapshot).unwrap();
+            }
+        }
+        store.recover().unwrap().records.len()
+    }));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    harness::report("store", &timings);
+}

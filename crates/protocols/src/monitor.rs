@@ -18,13 +18,29 @@
 use hcm_core::{
     EventDesc, ItemId, RuleRegistry, SimDuration, SimTime, SiteId, TraceRecorder, Value,
 };
+use hcm_obs::Scope;
 use hcm_simkit::{Actor, ActorId, Ctx, RunOutcome, Sim};
+use hcm_store::{LogRecord, MemStore};
 use hcm_toolkit::backends::{build_backend, RawStore};
 use hcm_toolkit::msg::{CmMsg, SpontaneousOp, TranslatorEvent};
 use hcm_toolkit::rid::CmRid;
 use hcm_toolkit::translator::{TranslatorActor, TranslatorStatsHandle};
+use hcm_toolkit::{StatePolicy, StoreBridge};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// What a lossy crash does to the monitor agent's volatile state —
+/// the protocols-level mirror of [`hcm_toolkit::Durability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MonitorMemory {
+    /// Historical behaviour: state silently survives crashes.
+    #[default]
+    Keep,
+    /// A lossy crash wipes `Cx`/`Cy`/`Flag`; nothing comes back.
+    Lose,
+    /// State is write-ahead-logged and recovered on restart (§5).
+    Durable,
+}
 
 /// The application-site shell that serves both databases and maintains
 /// the auxiliary items.
@@ -36,6 +52,8 @@ pub struct MonitorAgent {
     cy: Value,
     flag: bool,
     recorder: TraceRecorder,
+    policy: StatePolicy,
+    crashed_lossy: bool,
     /// Count of Flag transitions (experiment metric).
     pub transitions: Rc<RefCell<u64>>,
 }
@@ -68,10 +86,29 @@ impl MonitorAgent {
             // Tb records *when the agent established* equality; the
             // guarantee's κ absorbs the notification lag.
             self.set_aux(now, "Tb", Value::Int(now.as_millis() as i64), Value::Null);
+            self.log_durable(&LogRecord::PrivateWrite {
+                at: now,
+                item: ItemId::plain("Flag"),
+                value: Value::Bool(true),
+            });
         } else if !eq && self.flag {
             self.flag = false;
             *self.transitions.borrow_mut() += 1;
             self.set_aux(now, "Flag", Value::Bool(false), Value::Bool(true));
+            self.log_durable(&LogRecord::PrivateWrite {
+                at: now,
+                item: ItemId::plain("Flag"),
+                value: Value::Bool(false),
+            });
+        }
+    }
+
+    /// Append one record to the WAL when the agent is durable. The
+    /// monitor's whole state fits in `PrivateWrite` records, so it
+    /// needs no checkpoints — cadence-due signals are ignored.
+    fn log_durable(&mut self, rec: &LogRecord) {
+        if let Some(bridge) = self.policy.bridge() {
+            let _ = bridge.log(rec);
         }
     }
 }
@@ -81,6 +118,20 @@ impl Actor<CmMsg> for MonitorAgent {
         self.recorder
             .set_initial(self.aux("Flag"), Value::Bool(self.flag));
         self.recorder.set_initial(self.aux("Tb"), Value::Int(0));
+        // Seed the log with the initial state so recovery after a
+        // crash that precedes any notification still lands on the
+        // right values, not on an empty mirror.
+        for (item, value) in [
+            (self.item_x.clone(), self.cx.clone()),
+            (self.item_y.clone(), self.cy.clone()),
+            (ItemId::plain("Flag"), Value::Bool(self.flag)),
+        ] {
+            self.log_durable(&LogRecord::PrivateWrite {
+                at: SimTime::ZERO,
+                item,
+                value,
+            });
+        }
     }
 
     fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {
@@ -105,14 +156,59 @@ impl Actor<CmMsg> for MonitorAgent {
                     Some(trigger),
                 );
                 if item == self.item_x {
-                    self.cx = value;
+                    self.cx = value.clone();
+                    self.log_durable(&LogRecord::PrivateWrite {
+                        at: ctx.now(),
+                        item,
+                        value,
+                    });
                 } else if item == self.item_y {
-                    self.cy = value;
+                    self.cy = value.clone();
+                    self.log_durable(&LogRecord::PrivateWrite {
+                        at: ctx.now(),
+                        item,
+                        value,
+                    });
                 }
                 self.reevaluate(ctx.now());
             }
             CmMsg::Cmi(_) => {}
             other => panic!("monitor agent: unexpected message {other:?}"),
+        }
+    }
+
+    fn on_crash(&mut self, lossy: bool, _ctx: &mut Ctx<'_, CmMsg>) {
+        if !(lossy && self.policy.wipes_on_lossy_crash()) {
+            return;
+        }
+        // The lossy crash destroys the agent's volatile mirror of both
+        // databases and its Flag. Note the *trace* keeps whatever aux
+        // values were last recorded — exactly why a storeless restart
+        // is dangerous: the world still reads `Flag = true`.
+        self.crashed_lossy = true;
+        self.cx = Value::Null;
+        self.cy = Value::Null;
+        self.flag = false;
+    }
+
+    fn on_recover(&mut self, _ctx: &mut Ctx<'_, CmMsg>) {
+        if !std::mem::take(&mut self.crashed_lossy) {
+            return;
+        }
+        let Some(bridge) = self.policy.bridge() else {
+            return;
+        };
+        let (_ckpt, records) = bridge.recover();
+        for rec in records {
+            if let LogRecord::PrivateWrite { item, value, .. } = rec {
+                if item == self.item_x {
+                    self.cx = value;
+                } else if item == self.item_y {
+                    self.cy = value;
+                } else if item == ItemId::plain("Flag") {
+                    self.flag = value == Value::Bool(true);
+                }
+            }
         }
     }
 }
@@ -162,6 +258,14 @@ pub struct MonitorScenario {
 /// Build the monitor deployment with both items initially `v0`.
 #[must_use]
 pub fn build(seed: u64, v0: i64) -> MonitorScenario {
+    build_with_memory(seed, v0, MonitorMemory::Keep)
+}
+
+/// Build the monitor deployment with an explicit crash-memory regime
+/// for the agent (§5: "crashes can be mapped to metric failures if the
+/// database … can remember").
+#[must_use]
+pub fn build_with_memory(seed: u64, v0: i64, memory: MonitorMemory) -> MonitorScenario {
     let mut sim = Sim::new(seed);
     let recorder = TraceRecorder::new();
     let mut registry = RuleRegistry::new();
@@ -190,6 +294,16 @@ pub fn build(seed: u64, v0: i64) -> MonitorScenario {
     // is the CM-Shell of *both* sites (paper Fig. 1, Site 3).
     let agent_id = ActorId(0);
     let transitions = Rc::new(RefCell::new(0));
+    let policy = match memory {
+        MonitorMemory::Keep => StatePolicy::Keep,
+        MonitorMemory::Lose => StatePolicy::Lose,
+        MonitorMemory::Durable => StatePolicy::Durable(StoreBridge::new(
+            hcm_store::shared(MemStore::new()),
+            sim.obs().metrics,
+            Scope::Actor(agent_id.0),
+            u64::MAX, // PrivateWrite records carry full state: no checkpoints
+        )),
+    };
     let agent = MonitorAgent {
         site: SiteId::new(2), // the application's site
         item_x: ItemId::plain("X"),
@@ -198,6 +312,8 @@ pub fn build(seed: u64, v0: i64) -> MonitorScenario {
         cy: Value::Int(v0),
         flag: true,
         recorder: recorder.clone(),
+        policy,
+        crashed_lossy: false,
         transitions: transitions.clone(),
     };
     assert_eq!(sim.add_actor(Box::new(agent)), agent_id);
@@ -262,6 +378,18 @@ impl MonitorScenario {
                 "update items set value = {v} where name = 'Y'"
             ))),
         );
+    }
+
+    /// Crash the monitor agent at `t`; with `lossy`, in-flight
+    /// notifications are dropped and (under [`MonitorMemory::Lose`] or
+    /// [`MonitorMemory::Durable`]) its volatile state is wiped.
+    pub fn crash_agent(&mut self, t: SimTime, lossy: bool) {
+        self.sim.crash_at(self.agent, t, lossy);
+    }
+
+    /// Recover the crashed monitor agent at `t`.
+    pub fn recover_agent(&mut self, t: SimTime) {
+        self.sim.recover_at(self.agent, t);
     }
 
     /// Run to quiescence.
@@ -343,6 +471,51 @@ mod tests {
         assert!(
             !r.holds,
             "κ = 0 must fail: Flag lags divergence by the notification delay"
+        );
+    }
+
+    #[test]
+    fn durable_agent_recovers_its_mirror_and_keeps_monitoring() {
+        let mut m = build_with_memory(7, 10, MonitorMemory::Durable);
+        m.write_x(SimTime::from_secs(10), 20); // diverge: Flag clears
+        m.crash_agent(SimTime::from_secs(30), true);
+        m.recover_agent(SimTime::from_secs(35));
+        m.write_y(SimTime::from_secs(40), 20); // converge again
+        m.run();
+        // The recovered agent remembered cx = 20 and flag = false, so
+        // the Y notification re-establishes equality: two transitions,
+        // Flag true, guarantee intact.
+        assert_eq!(*m.transitions.borrow(), 2);
+        let trace = m.recorder.snapshot();
+        assert_eq!(
+            trace.value_at(&ItemId::plain("Flag"), trace.end_time()),
+            Some(Value::Bool(true))
+        );
+        let r = check_guarantee(&trace, &m.guarantee(), None);
+        assert!(r.holds, "{:#?}", r.violations);
+        let metrics = m.sim.obs().metrics;
+        assert!(metrics.counter(Scope::Actor(0), "store.appends") > 0);
+        assert_eq!(metrics.counter(Scope::Actor(0), "store.recoveries"), 1);
+    }
+
+    #[test]
+    fn storeless_agent_goes_blind_after_crash() {
+        // Same schedule, no memory: the wiped agent recovers with a
+        // Null mirror. The Y notification alone cannot re-establish
+        // equality (cx is Null), so the monitor stays dark — Flag
+        // never returns to true even though X = Y in the world.
+        let mut m = build_with_memory(7, 10, MonitorMemory::Lose);
+        m.write_x(SimTime::from_secs(10), 20);
+        m.crash_agent(SimTime::from_secs(30), true);
+        m.recover_agent(SimTime::from_secs(35));
+        m.write_y(SimTime::from_secs(40), 20);
+        m.run();
+        assert_eq!(*m.transitions.borrow(), 1, "only the divergence");
+        let trace = m.recorder.snapshot();
+        assert_eq!(
+            trace.value_at(&ItemId::plain("Flag"), trace.end_time()),
+            Some(Value::Bool(false)),
+            "the monitor misses the reconvergence for good"
         );
     }
 

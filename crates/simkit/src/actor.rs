@@ -36,6 +36,23 @@ pub trait Actor<M> {
     fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
         let _ = ctx;
     }
+
+    /// Called when the simulation crashes this actor. `lossy` mirrors
+    /// the crash control: a lossy crash destroys in-flight messages
+    /// *and*, for durable-state actors, their volatile state — the
+    /// hook is where such an actor wipes itself. Sends made from this
+    /// hook are discarded (the actor is already down). Default:
+    /// nothing.
+    fn on_crash(&mut self, lossy: bool, ctx: &mut Ctx<'_, M>) {
+        let _ = (lossy, ctx);
+    }
+
+    /// Called when the simulation recovers this actor, *before* any
+    /// held message is redelivered. A durable-state actor reloads its
+    /// checkpoint + log here and re-arms its timers. Default: nothing.
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
 }
 
 /// Context handed to an actor for the duration of one delivery.

@@ -361,6 +361,19 @@ impl<M> Sim<M> {
                     "sim.crash",
                     [("lossy", lossy.to_string())],
                 );
+                // Let the actor model the crash (a lossy crash wipes a
+                // durable actor's volatile state). Anything it tries to
+                // send is discarded — it is down.
+                let mut discard = Vec::new();
+                let mut halted = false;
+                let mut ctx = Ctx {
+                    now: self.now,
+                    me: who,
+                    rng: &mut self.rng,
+                    outbox: &mut discard,
+                    halted: &mut halted,
+                };
+                self.actors[who.0 as usize].on_crash(lossy, &mut ctx);
             }
             Control::Recover { who } => {
                 self.net.set_status(who, ActorStatus::Up);
@@ -370,6 +383,22 @@ impl<M> Sim<M> {
                     "sim.recover",
                     std::iter::empty::<(&str, String)>(),
                 );
+                // Give the actor first crack at recovery (reload durable
+                // state, re-arm timers) before held traffic lands. Its
+                // sends are real and flushed normally.
+                let mut outbox = Vec::new();
+                let mut halted = false;
+                {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        me: who,
+                        rng: &mut self.rng,
+                        outbox: &mut outbox,
+                        halted: &mut halted,
+                    };
+                    self.actors[who.0 as usize].on_recover(&mut ctx);
+                }
+                self.flush_outbox(who, outbox);
                 // Replay messages held during the outage, at recovery
                 // time, preserving their original arrival order (the
                 // held `seq` predates any new sends, so they sort first
@@ -622,6 +651,60 @@ mod tests {
         sim.run_to_quiescence();
         assert_eq!(*fired.borrow(), 1);
         assert_eq!(sim.actor_count(), 1);
+    }
+
+    #[test]
+    fn crash_and_recover_hooks_fire_in_order() {
+        /// Logs lifecycle events; tries to send from on_crash (must be
+        /// discarded) and schedules a timer from on_recover.
+        struct Durable {
+            log: Rc<RefCell<Vec<String>>>,
+            peer: ActorId,
+        }
+        impl Actor<Msg> for Durable {
+            fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                self.log
+                    .borrow_mut()
+                    .push(format!("msg {:?} at {}", msg, ctx.now().as_millis()));
+            }
+            fn on_crash(&mut self, lossy: bool, ctx: &mut Ctx<'_, Msg>) {
+                self.log.borrow_mut().push(format!("crash lossy={lossy}"));
+                ctx.send(self.peer, Msg::Ping(0)); // must be discarded
+            }
+            fn on_recover(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                self.log
+                    .borrow_mut()
+                    .push(format!("recover at {}", ctx.now().as_millis()));
+                ctx.schedule_self(SimDuration::from_millis(5), Msg::Tick);
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let peer_log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = fixed_sim(0);
+        let a = sim.add_actor(Box::new(Durable {
+            log: log.clone(),
+            peer: ActorId(1),
+        }));
+        let _peer = sim.add_actor(Box::new(Echo {
+            peer: None,
+            log: peer_log.clone(),
+            ticks: 0,
+        }));
+        sim.crash_at(a, SimTime::from_secs(1), false);
+        sim.inject_at(SimTime::from_secs(2), a, Msg::Ping(7)); // held
+        sim.recover_at(a, SimTime::from_secs(3));
+        assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                "crash lossy=false".to_string(),
+                "recover at 3000".to_string(),
+                "msg Ping(7) at 3000".to_string(), // held replay after the hook
+                "msg Tick at 3005".to_string(),    // timer armed by on_recover
+            ]
+        );
+        // The send attempted from on_crash never reached the peer.
+        assert!(peer_log.borrow().is_empty());
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! # hcm-store — durable state for shells and translators
+//!
+//! The paper's failure model (§5) turns on durability: "crashes can be
+//! mapped to metric failures if the database … can remember messages".
+//! This crate is the *remembering*: an append-only write-ahead log of
+//! CM events, periodic checkpoints of component state, and a recovery
+//! path that loads the latest valid checkpoint and replays the log
+//! suffix. A CM-Shell or CM-Translator wired to a [`StateStore`] can
+//! lose its entire in-memory state to a lossy crash and come back
+//! holding exactly the registry, private data and pending obligations
+//! it had logged — demoting what would have been a logical failure to
+//! a metric one.
+//!
+//! Design rules (shared with the rest of the workspace):
+//!
+//! * **Dependency-free.** crates.io is unreachable in this
+//!   environment, so the binary codec ([`codec`]), the CRC32
+//!   checksums and the segment format are all hand-rolled on `std`.
+//! * **Deterministic.** Encoding is fixed-width little-endian with
+//!   length-prefixed strings; the same state always encodes to the
+//!   same bytes, so recovery equivalence can be asserted
+//!   byte-for-byte.
+//! * **Torn tails are data loss, not corruption.** Every record
+//!   carries a CRC32; recovery stops at the first record whose length
+//!   or checksum does not verify, truncates the tail, and reports how
+//!   much was dropped — it never panics on a half-written file.
+//!
+//! Two [`StateStore`] implementations are provided: [`MemStore`] (an
+//! in-memory log for tests and simulations, durable across *simulated*
+//! crashes because it lives outside the actor) and [`FileStore`]
+//! (length-prefixed CRC-checked segment files with rotation,
+//! checkpoint files, and tail truncation on recovery).
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod record;
+pub mod wal;
+
+pub use codec::{crc32, CodecError, Decoder, Encoder};
+pub use record::{
+    FailureTag, LogRecord, PendingWrite, ShellSnapshot, StatusTag, TranslatorSnapshot,
+};
+pub use wal::{FileStore, MemStore, Recovery, StateStore, StoreConfig, StoreError};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A shared, interiorly mutable handle to a state store, as held by a
+/// scenario and the actor it backs. The `Rc` lives *outside* the
+/// simulated actor, which is what makes the store survive a simulated
+/// crash that wipes the actor's own state.
+pub type SharedStore = Rc<RefCell<Box<dyn StateStore>>>;
+
+/// Wrap a concrete store into a [`SharedStore`].
+#[must_use]
+pub fn shared(store: impl StateStore + 'static) -> SharedStore {
+    Rc::new(RefCell::new(Box::new(store)))
+}

@@ -1,0 +1,479 @@
+//! Logged records and checkpoint snapshots.
+//!
+//! [`LogRecord`] is the WAL vocabulary: every durable state mutation a
+//! CM-Shell or CM-Translator performs is logged as one record *before*
+//! (or atomically with) the in-memory mutation, so replaying the
+//! records over the latest checkpoint reconstructs the component's
+//! state at the moment of the crash.
+//!
+//! [`ShellSnapshot`] and [`TranslatorSnapshot`] are the checkpoint
+//! payloads: a full copy of the durable subset of each component's
+//! state (CM-private data + guarantee registry + outstanding requests
+//! for a shell; armed periodic interfaces + accepted-but-unperformed
+//! writes for a translator). A checkpoint lets recovery prune the log
+//! prefix.
+
+use crate::codec::{CodecError, Decoder, Encoder};
+use hcm_core::{EventId, ItemId, RuleId, SimDuration, SimTime, SiteId, Value};
+
+/// Failure classification carried in a log record (§5's two classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureTag {
+    /// Time bounds missed; service eventually provided.
+    Metric,
+    /// Interface statements void.
+    Logical,
+}
+
+impl FailureTag {
+    fn encode(self) -> u8 {
+        match self {
+            FailureTag::Metric => 0,
+            FailureTag::Logical => 1,
+        }
+    }
+
+    fn decode(b: u8) -> Result<Self, CodecError> {
+        match b {
+            0 => Ok(FailureTag::Metric),
+            1 => Ok(FailureTag::Logical),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+/// Guarantee status as stored in a checkpoint (mirrors the toolkit's
+/// `GuaranteeStatus` without depending on the toolkit crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusTag {
+    /// The guarantee is in force.
+    Valid,
+    /// Suspended by a metric failure.
+    SuspendedMetric,
+    /// Suspended by a logical failure (needs reset).
+    SuspendedLogical,
+}
+
+impl StatusTag {
+    fn encode(self) -> u8 {
+        match self {
+            StatusTag::Valid => 0,
+            StatusTag::SuspendedMetric => 1,
+            StatusTag::SuspendedLogical => 2,
+        }
+    }
+
+    fn decode(b: u8) -> Result<Self, CodecError> {
+        match b {
+            0 => Ok(StatusTag::Valid),
+            1 => Ok(StatusTag::SuspendedMetric),
+            2 => Ok(StatusTag::SuspendedLogical),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+/// A write request a translator has accepted (scheduled against its
+/// database) but not yet performed. Durable so that a crash between
+/// acceptance and execution loses no writes — the §5 demotion of a
+/// logical failure to a metric one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingWrite {
+    /// The shell's request id (to acknowledge on completion).
+    pub req_id: u64,
+    /// Actor id of the requesting shell.
+    pub reply_to: u32,
+    /// Item to write.
+    pub item: ItemId,
+    /// Value to write.
+    pub value: Value,
+    /// The write-interface rule servicing the request.
+    pub rule: RuleId,
+    /// The `WR` event that triggered the write (provenance).
+    pub trigger: EventId,
+}
+
+impl PendingWrite {
+    fn encode_into(&self, e: &mut Encoder) {
+        e.u64(self.req_id);
+        e.u32(self.reply_to);
+        e.item(&self.item);
+        e.value(&self.value);
+        e.u32(self.rule.0);
+        e.u64(self.trigger.0);
+    }
+
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(PendingWrite {
+            req_id: d.u64()?,
+            reply_to: d.u32()?,
+            item: d.item()?,
+            value: d.value()?,
+            rule: RuleId(d.u32()?),
+            trigger: EventId(d.u64()?),
+        })
+    }
+}
+
+/// One durable log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A shell wrote CM-private data (`W` on a strategy RHS).
+    PrivateWrite {
+        /// When the write occurred.
+        at: SimTime,
+        /// The private item.
+        item: ItemId,
+        /// The value written.
+        value: Value,
+    },
+    /// A failure of `site` was observed (detected locally or received
+    /// as a `FailureNotice`).
+    Failure {
+        /// When the registry transition happened.
+        at: SimTime,
+        /// The failed site.
+        site: SiteId,
+        /// Metric or logical.
+        kind: FailureTag,
+    },
+    /// A metric failure of `site` cleared (late response arrived).
+    Clear {
+        /// When the registry transition happened.
+        at: SimTime,
+        /// The recovered site.
+        site: SiteId,
+    },
+    /// The system was reset (lifts logical suspensions, §5).
+    Reset {
+        /// When the reset happened.
+        at: SimTime,
+    },
+    /// A shell issued a CMI request and armed its deadline.
+    RequestSent {
+        /// When the request was issued.
+        at: SimTime,
+        /// The request id.
+        req_id: u64,
+    },
+    /// A shell's CMI request was answered (obligation discharged).
+    RequestResolved {
+        /// The request id.
+        req_id: u64,
+    },
+    /// A translator accepted a write request and scheduled it.
+    WriteAccepted(PendingWrite),
+    /// A translator performed (or definitively rejected) an accepted
+    /// write; the pending obligation is discharged.
+    WritePerformed {
+        /// The request id.
+        req_id: u64,
+    },
+    /// A translator armed (or re-armed) a periodic-notify interface.
+    PollArmed {
+        /// Index of the interface statement within the CM-RID.
+        idx: u64,
+        /// Its polling period.
+        period: SimDuration,
+    },
+    /// A periodic-notify interface passed its stop time and will not
+    /// be re-armed.
+    PollDisarmed {
+        /// Index of the interface statement within the CM-RID.
+        idx: u64,
+    },
+}
+
+impl LogRecord {
+    /// Encode the record to bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            LogRecord::PrivateWrite { at, item, value } => {
+                e.u8(0);
+                e.time(*at);
+                e.item(item);
+                e.value(value);
+            }
+            LogRecord::Failure { at, site, kind } => {
+                e.u8(1);
+                e.time(*at);
+                e.u32(site.index());
+                e.u8(kind.encode());
+            }
+            LogRecord::Clear { at, site } => {
+                e.u8(2);
+                e.time(*at);
+                e.u32(site.index());
+            }
+            LogRecord::Reset { at } => {
+                e.u8(3);
+                e.time(*at);
+            }
+            LogRecord::RequestSent { at, req_id } => {
+                e.u8(4);
+                e.time(*at);
+                e.u64(*req_id);
+            }
+            LogRecord::RequestResolved { req_id } => {
+                e.u8(5);
+                e.u64(*req_id);
+            }
+            LogRecord::WriteAccepted(pw) => {
+                e.u8(6);
+                pw.encode_into(&mut e);
+            }
+            LogRecord::WritePerformed { req_id } => {
+                e.u8(7);
+                e.u64(*req_id);
+            }
+            LogRecord::PollArmed { idx, period } => {
+                e.u8(8);
+                e.u64(*idx);
+                e.duration(*period);
+            }
+            LogRecord::PollDisarmed { idx } => {
+                e.u8(9);
+                e.u64(*idx);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decode a record from bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let rec = match d.u8()? {
+            0 => LogRecord::PrivateWrite {
+                at: d.time()?,
+                item: d.item()?,
+                value: d.value()?,
+            },
+            1 => LogRecord::Failure {
+                at: d.time()?,
+                site: SiteId::new(d.u32()?),
+                kind: FailureTag::decode(d.u8()?)?,
+            },
+            2 => LogRecord::Clear {
+                at: d.time()?,
+                site: SiteId::new(d.u32()?),
+            },
+            3 => LogRecord::Reset { at: d.time()? },
+            4 => LogRecord::RequestSent {
+                at: d.time()?,
+                req_id: d.u64()?,
+            },
+            5 => LogRecord::RequestResolved { req_id: d.u64()? },
+            6 => LogRecord::WriteAccepted(PendingWrite::decode_from(&mut d)?),
+            7 => LogRecord::WritePerformed { req_id: d.u64()? },
+            8 => LogRecord::PollArmed {
+                idx: d.u64()?,
+                period: d.duration()?,
+            },
+            9 => LogRecord::PollDisarmed { idx: d.u64()? },
+            t => return Err(CodecError::BadTag(t)),
+        };
+        Ok(rec)
+    }
+}
+
+/// Checkpoint payload for a CM-Shell: the durable subset of its state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShellSnapshot {
+    /// CM-private data, sorted by item (BTreeMap iteration order).
+    pub private: Vec<(ItemId, Value)>,
+    /// Guarantee registry entries: `(name, status, since)`, name-sorted.
+    pub registry: Vec<(String, StatusTag, SimTime)>,
+    /// Next request id (kept monotone across crashes so stale replies
+    /// cannot collide with new requests).
+    pub next_req: u64,
+    /// Outstanding CMI requests: `(req_id, sent_at, metric-flagged)`.
+    pub outstanding: Vec<(u64, SimTime, bool)>,
+}
+
+impl ShellSnapshot {
+    /// Encode the snapshot to bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u32(self.private.len() as u32);
+        for (item, value) in &self.private {
+            e.item(item);
+            e.value(value);
+        }
+        e.u32(self.registry.len() as u32);
+        for (name, status, since) in &self.registry {
+            e.str(name);
+            e.u8(status.encode());
+            e.time(*since);
+        }
+        e.u64(self.next_req);
+        e.u32(self.outstanding.len() as u32);
+        for (req_id, sent_at, flagged) in &self.outstanding {
+            e.u64(*req_id);
+            e.time(*sent_at);
+            e.bool(*flagged);
+        }
+        e.finish()
+    }
+
+    /// Decode a snapshot from bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let n = d.u32()? as usize;
+        let mut private = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            private.push((d.item()?, d.value()?));
+        }
+        let n = d.u32()? as usize;
+        let mut registry = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            registry.push((d.str()?, StatusTag::decode(d.u8()?)?, d.time()?));
+        }
+        let next_req = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut outstanding = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            outstanding.push((d.u64()?, d.time()?, d.bool()?));
+        }
+        Ok(ShellSnapshot {
+            private,
+            registry,
+            next_req,
+            outstanding,
+        })
+    }
+}
+
+/// Checkpoint payload for a CM-Translator.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslatorSnapshot {
+    /// Armed periodic-notify interfaces: `(iface idx, period)`.
+    pub armed: Vec<(u64, SimDuration)>,
+    /// Accepted-but-unperformed writes, in acceptance order.
+    pub pending: Vec<PendingWrite>,
+}
+
+impl TranslatorSnapshot {
+    /// Encode the snapshot to bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u32(self.armed.len() as u32);
+        for (idx, period) in &self.armed {
+            e.u64(*idx);
+            e.duration(*period);
+        }
+        e.u32(self.pending.len() as u32);
+        for pw in &self.pending {
+            pw.encode_into(&mut e);
+        }
+        e.finish()
+    }
+
+    /// Decode a snapshot from bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let n = d.u32()? as usize;
+        let mut armed = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            armed.push((d.u64()?, d.duration()?));
+        }
+        let n = d.u32()? as usize;
+        let mut pending = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            pending.push(PendingWrite::decode_from(&mut d)?);
+        }
+        Ok(TranslatorSnapshot { armed, pending })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_record_round_trip_spot_checks() {
+        let records = vec![
+            LogRecord::PrivateWrite {
+                at: SimTime::from_secs(3),
+                item: ItemId::with("Cx", [Value::Int(1)]),
+                value: Value::Float(0.5),
+            },
+            LogRecord::Failure {
+                at: SimTime::from_millis(17),
+                site: SiteId::new(2),
+                kind: FailureTag::Logical,
+            },
+            LogRecord::Clear {
+                at: SimTime::ZERO,
+                site: SiteId::new(0),
+            },
+            LogRecord::Reset {
+                at: SimTime::from_secs(99),
+            },
+            LogRecord::RequestSent {
+                at: SimTime::from_secs(1),
+                req_id: 7,
+            },
+            LogRecord::RequestResolved { req_id: 7 },
+            LogRecord::WriteAccepted(PendingWrite {
+                req_id: 9,
+                reply_to: 1,
+                item: ItemId::plain("X"),
+                value: Value::Str("v".into()),
+                rule: RuleId(4),
+                trigger: EventId(12),
+            }),
+            LogRecord::WritePerformed { req_id: 9 },
+            LogRecord::PollArmed {
+                idx: 2,
+                period: SimDuration::from_secs(60),
+            },
+            LogRecord::PollDisarmed { idx: 2 },
+        ];
+        for r in records {
+            assert_eq!(LogRecord::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip() {
+        let s = ShellSnapshot {
+            private: vec![(ItemId::plain("Flag"), Value::Bool(true))],
+            registry: vec![(
+                "g".into(),
+                StatusTag::SuspendedMetric,
+                SimTime::from_secs(4),
+            )],
+            next_req: 11,
+            outstanding: vec![(10, SimTime::from_secs(2), true)],
+        };
+        assert_eq!(ShellSnapshot::decode(&s.encode()).unwrap(), s);
+
+        let t = TranslatorSnapshot {
+            armed: vec![(0, SimDuration::from_secs(30))],
+            pending: vec![PendingWrite {
+                req_id: 3,
+                reply_to: 0,
+                item: ItemId::with("salary2", [Value::from("e1")]),
+                value: Value::Int(95_000),
+                rule: RuleId(1),
+                trigger: EventId(5),
+            }],
+        };
+        assert_eq!(TranslatorSnapshot::decode(&t.encode()).unwrap(), t);
+        assert_eq!(
+            TranslatorSnapshot::decode(&TranslatorSnapshot::default().encode()).unwrap(),
+            TranslatorSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(LogRecord::decode(&[]).is_err());
+        assert!(LogRecord::decode(&[200]).is_err());
+        assert!(ShellSnapshot::decode(&[1]).is_err());
+    }
+}

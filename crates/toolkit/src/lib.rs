@@ -41,6 +41,7 @@
 pub mod backend;
 pub mod backends;
 pub mod compile;
+pub mod durability;
 pub mod menu;
 pub mod msg;
 pub mod registry;
@@ -51,6 +52,7 @@ pub mod translator;
 pub mod workload;
 
 pub use compile::CompiledStrategy;
+pub use durability::{Durability, StatePolicy, StoreBridge, StoreKind, StoreSetup};
 pub use msg::{CmMsg, RequestKind, SpontaneousOp, TranslatorEvent};
 pub use registry::{FailureKind, GuaranteeRegistry, GuaranteeStatus};
 pub use rid::CmRid;

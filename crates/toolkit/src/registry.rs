@@ -192,6 +192,26 @@ impl GuaranteeRegistry {
         self.entries.get(name).map(|e| e.status)
     }
 
+    /// `(name, status, since)` of every entry in name order — the
+    /// durable portion of the registry, checkpointed by the store.
+    #[must_use]
+    pub fn statuses(&self) -> Vec<(String, GuaranteeStatus, SimTime)> {
+        self.entries
+            .iter()
+            .map(|(name, e)| (name.clone(), e.status, e.since))
+            .collect()
+    }
+
+    /// Restore one entry's status from a checkpoint. Unknown names are
+    /// ignored (the strategy, and hence the registered set, is static
+    /// configuration that recovery re-derives before restoring).
+    pub fn restore(&mut self, name: &str, status: GuaranteeStatus, since: SimTime) {
+        if let Some(e) = self.entries.get_mut(name) {
+            e.status = status;
+            e.since = since;
+        }
+    }
+
     /// Full entry by name.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&RegisteredGuarantee> {

@@ -11,6 +11,7 @@
 
 use crate::backends::{build_backend, RawStore};
 use crate::compile::CompiledStrategy;
+use crate::durability::{Durability, StatePolicy, StoreBridge, StoreKind};
 use crate::msg::{CmMsg, SpontaneousOp};
 use crate::registry::GuaranteeRegistry;
 use crate::rid::CmRid;
@@ -19,7 +20,9 @@ use crate::translator::{TranslatorActor, TranslatorStatsHandle};
 use hcm_core::{
     ItemId, RuleId, RuleRegistry, SimDuration, SimTime, SiteId, Trace, TraceRecorder, Value,
 };
+use hcm_obs::{Metrics, Scope};
 use hcm_simkit::{Actor, ActorId, Network, Obs, RunOutcome, Sim};
+use hcm_store::{FileStore, MemStore, SharedStore, StoreConfig};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -71,6 +74,48 @@ pub struct SiteHandle {
     pub private: Rc<RefCell<BTreeMap<ItemId, Value>>>,
     /// The shell's guarantee registry.
     pub registry: Rc<RefCell<GuaranteeRegistry>>,
+    /// The shell's durable store when the scenario runs with
+    /// [`Durability::Durable`]; `None` otherwise. Exposed so
+    /// experiments can inspect (or damage) the log between runs.
+    pub shell_store: Option<SharedStore>,
+    /// The translator's durable store, likewise.
+    pub translator_store: Option<SharedStore>,
+}
+
+/// Build the per-actor state policy for one component of a durable
+/// (or state-losing) site, returning the policy plus a handle to the
+/// backing store when one was created.
+fn actor_policy(
+    durability: &Durability,
+    label: &str,
+    scope: Scope,
+    metrics: &Metrics,
+) -> Result<(StatePolicy, Option<SharedStore>), ScenarioError> {
+    match durability {
+        Durability::MessageOnly => Ok((StatePolicy::Keep, None)),
+        Durability::LoseState => Ok((StatePolicy::Lose, None)),
+        Durability::Durable(setup) => {
+            let store: SharedStore = match &setup.kind {
+                StoreKind::Memory => hcm_store::shared(MemStore::new()),
+                StoreKind::File(dir) => {
+                    let cfg = StoreConfig {
+                        segment_bytes: setup.segment_bytes,
+                    };
+                    let fs = FileStore::open(dir.join(label), cfg).map_err(|e| ScenarioError {
+                        msg: format!("store `{label}`: {e}"),
+                    })?;
+                    hcm_store::shared(fs)
+                }
+            };
+            let bridge = StoreBridge::new(
+                store.clone(),
+                metrics.clone(),
+                scope,
+                setup.checkpoint_every,
+            );
+            Ok((StatePolicy::Durable(bridge), Some(store)))
+        }
+    }
 }
 
 /// Builder for a toolkit deployment. See the module docs.
@@ -82,6 +127,7 @@ pub struct ScenarioBuilder {
     failure_cfg: FailureConfig,
     stop_periodics_at: SimTime,
     private_init: Vec<(String, ItemId, Value)>,
+    durability: Durability,
 }
 
 impl ScenarioBuilder {
@@ -96,7 +142,19 @@ impl ScenarioBuilder {
             failure_cfg: FailureConfig::default(),
             stop_periodics_at: SimTime::from_millis(u64::MAX),
             private_init: Vec::new(),
+            durability: Durability::default(),
         }
+    }
+
+    /// What a *lossy* crash does to component state (§5): the default
+    /// [`Durability::MessageOnly`] only drops messages,
+    /// [`Durability::LoseState`] also wipes volatile shell/translator
+    /// state, and [`Durability::Durable`] wipes it but recovers from a
+    /// write-ahead log + checkpoints.
+    #[must_use]
+    pub fn durability(mut self, d: Durability) -> Self {
+        self.durability = d;
+        self
     }
 
     /// Use an explicit network model.
@@ -220,10 +278,11 @@ impl ScenarioBuilder {
             registries.push(Rc::new(RefCell::new(greg)));
         }
 
+        let mut shell_stores = Vec::with_capacity(n);
         for (i, _) in self.sites.iter().enumerate() {
             let site = SiteId::new(i as u32);
             let shell_stats = ShellStatsHandle::new(obs.metrics.clone(), site);
-            let shell = ShellActor::new(
+            let mut shell = ShellActor::new(
                 site,
                 ActorId((n + i) as u32),
                 shells_map.clone(),
@@ -235,6 +294,14 @@ impl ScenarioBuilder {
                 self.failure_cfg,
                 self.stop_periodics_at,
             );
+            let (policy, store) = actor_policy(
+                &self.durability,
+                &format!("site{i}-shell"),
+                Scope::Actor(i as u32),
+                &obs.metrics,
+            )?;
+            shell.set_state_policy(policy);
+            shell_stores.push(store);
             let id = sim.add_actor(Box::new(shell));
             assert_eq!(id, ActorId(i as u32), "actor id layout violated");
             handles.push((shell_stats, ActorId(i as u32)));
@@ -246,7 +313,7 @@ impl ScenarioBuilder {
             let rid_copy = s.rid.clone();
             let backend = build_backend(s.store, &s.rid);
             let t_stats = TranslatorStatsHandle::new(obs.metrics.clone(), site);
-            let translator = TranslatorActor::new(
+            let mut translator = TranslatorActor::new(
                 site,
                 ActorId(i as u32),
                 backend,
@@ -257,6 +324,13 @@ impl ScenarioBuilder {
                 recorder.clone(),
                 t_stats.clone(),
             );
+            let (policy, t_store) = actor_policy(
+                &self.durability,
+                &format!("site{i}-translator"),
+                Scope::Actor((n + i) as u32),
+                &obs.metrics,
+            )?;
+            translator.set_state_policy(policy);
             let id = sim.add_actor(Box::new(translator));
             assert_eq!(id, ActorId((n + i) as u32), "actor id layout violated");
             site_handles.push(SiteHandle {
@@ -270,6 +344,8 @@ impl ScenarioBuilder {
                 shell_stats: handles[i].0.clone(),
                 private: privates[i].clone(),
                 registry: registries[i].clone(),
+                shell_store: shell_stores[i].clone(),
+                translator_store: t_store,
             });
         }
 
@@ -347,6 +423,23 @@ impl Scenario {
     pub fn recover(&mut self, site: &str, at: SimTime) {
         let t = self.site(site).translator;
         self.sim.recover_at(t, at);
+    }
+
+    /// Crash a site's CM-Shell at `at`. Under
+    /// [`crate::Durability::LoseState`] or
+    /// [`crate::Durability::Durable`] a lossy shell crash also wipes
+    /// its volatile state (private data, guarantee registry,
+    /// outstanding requests).
+    pub fn crash_shell(&mut self, site: &str, at: SimTime, lossy: bool) {
+        let s = self.site(site).shell;
+        self.sim.crash_at(s, at, lossy);
+    }
+
+    /// Recover a crashed CM-Shell at `at`. Durable shells reload the
+    /// latest checkpoint and replay the log suffix before resuming.
+    pub fn recover_shell(&mut self, site: &str, at: SimTime) {
+        let s = self.site(site).shell;
+        self.sim.recover_at(s, at);
     }
 
     /// Run until `horizon`.

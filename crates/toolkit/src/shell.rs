@@ -15,6 +15,9 @@
 //! and keeps the site's [`GuaranteeRegistry`].
 
 use crate::compile::{CompiledRule, CompiledStrategy, Locator};
+use crate::durability::{
+    fail_to_tag, status_to_tag, tag_to_fail, tag_to_status, StatePolicy, StoreBridge,
+};
 use crate::msg::{CmMsg, FailureKindMsg, RequestKind, TranslatorEvent};
 use crate::registry::{FailureKind, GuaranteeRegistry};
 use hcm_core::{
@@ -25,6 +28,7 @@ use hcm_obs::{Metrics, Obs, Scope, SpanId, SpanKind, Spans};
 use hcm_rulelang::ast::BindingsEnv;
 use hcm_rulelang::StrategyRule;
 use hcm_simkit::{Actor, ActorId, Ctx};
+use hcm_store::{LogRecord, ShellSnapshot};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
@@ -159,6 +163,11 @@ pub struct ShellActor {
     outstanding: BTreeMap<u64, Outstanding>,
     next_req: u64,
     stop_periodics_at: SimTime,
+    /// How this shell's state relates to crashes (see
+    /// [`crate::durability`]). Default keeps historical behaviour.
+    policy: StatePolicy,
+    /// Set by a lossy crash; consumed by the next recovery.
+    crashed_lossy: bool,
 }
 
 impl ShellActor {
@@ -210,6 +219,8 @@ impl ShellActor {
             outstanding: BTreeMap::new(),
             next_req: 0,
             stop_periodics_at,
+            policy: StatePolicy::default(),
+            crashed_lossy: false,
         }
     }
 
@@ -217,6 +228,53 @@ impl ShellActor {
     #[must_use]
     pub fn stats(&self) -> ShellStatsHandle {
         self.stats.clone()
+    }
+
+    /// Set how this shell's state relates to crashes. With
+    /// [`StatePolicy::Durable`], every durable mutation is
+    /// write-ahead-logged and recovery replays checkpoint + log.
+    pub fn set_state_policy(&mut self, policy: StatePolicy) {
+        self.policy = policy;
+    }
+
+    /// Log one durable mutation; checkpoint when the cadence says so.
+    fn log_durable(&mut self, rec: &LogRecord) {
+        let due = match self.policy.bridge() {
+            Some(b) => b.log(rec),
+            None => return,
+        };
+        if due {
+            self.write_checkpoint();
+        }
+    }
+
+    /// Snapshot the shell's durable state into the store.
+    fn write_checkpoint(&mut self) {
+        let snap = ShellSnapshot {
+            private: self
+                .private
+                .borrow()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            registry: self
+                .registry
+                .borrow()
+                .statuses()
+                .into_iter()
+                .map(|(name, status, since)| (name, status_to_tag(status), since))
+                .collect(),
+            next_req: self.next_req,
+            outstanding: self
+                .outstanding
+                .iter()
+                .map(|(&req_id, o)| (req_id, o.sent_at, o.flagged))
+                .collect(),
+        };
+        let blob = snap.encode();
+        if let Some(b) = self.policy.bridge() {
+            b.save_checkpoint(&blob);
+        }
     }
 
     fn record(
@@ -423,6 +481,11 @@ impl ShellActor {
                     .private
                     .borrow_mut()
                     .insert(item.clone(), value.clone());
+                self.log_durable(&LogRecord::PrivateWrite {
+                    at: now,
+                    item: item.clone(),
+                    value: value.clone(),
+                });
                 let desc = EventDesc::W { item, value };
                 let id = self.record(now, desc.clone(), old, Some(rule), Some(trigger));
                 self.rematch_later(id, desc, ctx);
@@ -490,6 +553,7 @@ impl ShellActor {
                 sent_at: now,
             },
         );
+        self.log_durable(&LogRecord::RequestSent { at: now, req_id });
         ctx.schedule_self(
             self.failure_cfg.deadline,
             CmMsg::CheckDeadline {
@@ -503,6 +567,7 @@ impl ShellActor {
     fn resolve_request(&mut self, req_id: u64, ctx: &mut Ctx<'_, CmMsg>) {
         if let Some(o) = self.outstanding.remove(&req_id) {
             let now = ctx.now();
+            self.log_durable(&LogRecord::RequestResolved { req_id });
             self.metrics.observe(
                 Scope::Site(self.site.index()),
                 "shell.request_latency",
@@ -524,6 +589,10 @@ impl ShellActor {
                     ],
                 );
                 self.registry.borrow_mut().on_clear(self.site, ctx.now());
+                self.log_durable(&LogRecord::Clear {
+                    at: now,
+                    site: self.site,
+                });
                 self.broadcast_failure(FailureKindMsg::Cleared, ctx);
             }
         }
@@ -580,6 +649,11 @@ impl ShellActor {
             self.registry
                 .borrow_mut()
                 .on_failure(self.site, FailureKind::Logical, now);
+            self.log_durable(&LogRecord::Failure {
+                at: now,
+                site: self.site,
+                kind: fail_to_tag(FailureKind::Logical),
+            });
             self.broadcast_failure(FailureKindMsg::Logical, ctx);
         } else {
             if let Some(o) = self.outstanding.get_mut(&req_id) {
@@ -611,6 +685,11 @@ impl ShellActor {
             self.registry
                 .borrow_mut()
                 .on_failure(self.site, FailureKind::Metric, now);
+            self.log_durable(&LogRecord::Failure {
+                at: now,
+                site: self.site,
+                kind: fail_to_tag(FailureKind::Metric),
+            });
             self.broadcast_failure(FailureKindMsg::Metric, ctx);
             ctx.schedule_self(
                 self.failure_cfg.escalation,
@@ -645,6 +724,31 @@ impl ShellActor {
         );
         if ctx.now() + period <= self.stop_periodics_at {
             ctx.schedule_self(period, CmMsg::Heartbeat);
+        }
+    }
+
+    /// Re-arm heartbeat and periodic-rule timers after a recovery (a
+    /// lossy crash destroyed the pending self-timers). Unlike
+    /// `on_start`, every re-arm is gated on `stop_periodics_at`: a
+    /// recovery after the periodic horizon must not restart them.
+    fn rearm_periodics(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
+        let now = ctx.now();
+        if let Some(period) = self.failure_cfg.heartbeat {
+            if now + period <= self.stop_periodics_at {
+                ctx.schedule_self(period, CmMsg::Heartbeat);
+            }
+        }
+        for idx in 0..self.periodic_rules.len() {
+            let rule_idx = self.periodic_rules[idx];
+            if let TemplateDesc::P {
+                period: hcm_core::Term::Const(Value::Int(ms @ 1..)),
+            } = &self.rules[rule_idx].rule.lhs
+            {
+                let period = SimDuration::from_millis(*ms as u64);
+                if now + period <= self.stop_periodics_at {
+                    ctx.schedule_self(period, CmMsg::RuleTick { idx });
+                }
+            }
         }
     }
 
@@ -713,6 +817,110 @@ impl Actor<CmMsg> for ShellActor {
         }
     }
 
+    fn on_crash(&mut self, lossy: bool, _ctx: &mut Ctx<'_, CmMsg>) {
+        if !lossy || !self.policy.wipes_on_lossy_crash() {
+            return;
+        }
+        self.crashed_lossy = true;
+        // The process image is gone: private data, registry statuses
+        // and request bookkeeping reset to a fresh start. `next_req`
+        // stays monotone so late replies to pre-crash requests cannot
+        // collide with requests issued after recovery.
+        self.private.borrow_mut().clear();
+        self.registry.borrow_mut().reset(SimTime::ZERO);
+        self.outstanding.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
+        if !std::mem::take(&mut self.crashed_lossy) {
+            return;
+        }
+        let now = ctx.now();
+        let recovered = self.policy.bridge().map(StoreBridge::recover);
+        if let Some((ckpt, records)) = recovered {
+            // Snapshot first, then the log suffix on top. Replay only
+            // rebuilds in-memory state — the trace recorder already
+            // holds the original events as ground truth and must not
+            // see them twice.
+            let mut pending: BTreeMap<u64, (SimTime, bool)> = BTreeMap::new();
+            if let Some(snap) = ckpt.and_then(|blob| ShellSnapshot::decode(&blob).ok()) {
+                self.private.borrow_mut().extend(snap.private);
+                {
+                    let mut reg = self.registry.borrow_mut();
+                    for (name, tag, since) in snap.registry {
+                        reg.restore(&name, tag_to_status(tag), since);
+                    }
+                }
+                self.next_req = self.next_req.max(snap.next_req);
+                for (req_id, sent_at, flagged) in snap.outstanding {
+                    pending.insert(req_id, (sent_at, flagged));
+                }
+            }
+            for rec in records {
+                match rec {
+                    LogRecord::PrivateWrite { item, value, .. } => {
+                        self.private.borrow_mut().insert(item, value);
+                    }
+                    LogRecord::Failure { at, site, kind } => {
+                        self.registry
+                            .borrow_mut()
+                            .on_failure(site, tag_to_fail(kind), at);
+                    }
+                    LogRecord::Clear { at, site } => {
+                        self.registry.borrow_mut().on_clear(site, at);
+                    }
+                    LogRecord::Reset { at } => self.registry.borrow_mut().reset(at),
+                    LogRecord::RequestSent { at, req_id } => {
+                        self.next_req = self.next_req.max(req_id + 1);
+                        pending.insert(req_id, (at, false));
+                    }
+                    LogRecord::RequestResolved { req_id } => {
+                        pending.remove(&req_id);
+                    }
+                    // Translator-only records never appear in a shell log.
+                    _ => {}
+                }
+            }
+            // Requests that were in flight when the crash hit: re-arm
+            // failure detection. A request already flagged metric goes
+            // straight to its escalation check; the rest get a fresh
+            // metric deadline measured from recovery.
+            let outstanding_count = pending.len() as u64;
+            for (req_id, (sent_at, flagged)) in pending {
+                let span = self.spans.start(
+                    SpanKind::Request,
+                    None,
+                    self.site,
+                    None,
+                    None,
+                    now,
+                    "recovered",
+                );
+                self.outstanding.insert(
+                    req_id,
+                    Outstanding {
+                        flagged,
+                        span,
+                        sent_at,
+                    },
+                );
+                let (delay, escalation) = if flagged {
+                    (self.failure_cfg.escalation, true)
+                } else {
+                    (self.failure_cfg.deadline, false)
+                };
+                ctx.schedule_self(delay, CmMsg::CheckDeadline { req_id, escalation });
+            }
+            self.metrics.record(
+                now,
+                Scope::Site(self.site.index()),
+                "shell.recovered",
+                [("outstanding", outstanding_count.to_string())],
+            );
+        }
+        self.rearm_periodics(ctx);
+    }
+
     fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {
         match msg {
             CmMsg::Cmi(TranslatorEvent::Notify {
@@ -766,12 +974,28 @@ impl Actor<CmMsg> for ShellActor {
             }
             CmMsg::FailureNotice { site, kind } => {
                 let now = ctx.now();
-                let mut reg = self.registry.borrow_mut();
-                match kind {
-                    FailureKindMsg::Metric => reg.on_failure(site, FailureKind::Metric, now),
-                    FailureKindMsg::Logical => reg.on_failure(site, FailureKind::Logical, now),
-                    FailureKindMsg::Cleared => reg.on_clear(site, now),
+                {
+                    let mut reg = self.registry.borrow_mut();
+                    match kind {
+                        FailureKindMsg::Metric => reg.on_failure(site, FailureKind::Metric, now),
+                        FailureKindMsg::Logical => reg.on_failure(site, FailureKind::Logical, now),
+                        FailureKindMsg::Cleared => reg.on_clear(site, now),
+                    }
                 }
+                let rec = match kind {
+                    FailureKindMsg::Metric => LogRecord::Failure {
+                        at: now,
+                        site,
+                        kind: fail_to_tag(FailureKind::Metric),
+                    },
+                    FailureKindMsg::Logical => LogRecord::Failure {
+                        at: now,
+                        site,
+                        kind: fail_to_tag(FailureKind::Logical),
+                    },
+                    FailureKindMsg::Cleared => LogRecord::Clear { at: now, site },
+                };
+                self.log_durable(&rec);
             }
             other => panic!(
                 "shell at {} received unexpected message {other:?}",

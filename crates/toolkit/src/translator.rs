@@ -18,6 +18,7 @@
 //!   crashes — the two §5 classes.
 
 use crate::backend::RisBackend;
+use crate::durability::{StatePolicy, StoreBridge};
 use crate::msg::{CmMsg, RequestKind, SpontaneousOp, TranslatorEvent};
 use crate::rid::{classify, CmRid, IfaceClass};
 use hcm_core::{
@@ -28,6 +29,8 @@ use hcm_obs::{Metrics, Scope};
 use hcm_rulelang::ast::BindingsEnv;
 use hcm_rulelang::InterfaceStmt;
 use hcm_simkit::{Actor, ActorId, Ctx};
+use hcm_store::{LogRecord, PendingWrite, TranslatorSnapshot};
+use std::collections::BTreeMap;
 
 /// Delay for forwarding an observed event to the co-located shell.
 const FORWARD_DELAY: SimDuration = SimDuration::from_millis(1);
@@ -123,6 +126,17 @@ pub struct TranslatorActor {
     stop_periodics_at: SimTime,
     recorder: TraceRecorder,
     stats: TranslatorStatsHandle,
+    /// How this translator's state relates to crashes (see
+    /// [`crate::durability`]). Default keeps historical behaviour.
+    policy: StatePolicy,
+    /// Set by a lossy crash; consumed by the next recovery.
+    crashed_lossy: bool,
+    /// Writes accepted (scheduled against the backend) but not yet
+    /// performed — the §5 obligations a durable translator must not
+    /// lose across a crash.
+    pending: BTreeMap<u64, PendingWrite>,
+    /// Armed periodic-notify interfaces: statement index → period.
+    armed: BTreeMap<u64, SimDuration>,
 }
 
 impl TranslatorActor {
@@ -163,6 +177,40 @@ impl TranslatorActor {
             stop_periodics_at,
             recorder,
             stats,
+            policy: StatePolicy::default(),
+            crashed_lossy: false,
+            pending: BTreeMap::new(),
+            armed: BTreeMap::new(),
+        }
+    }
+
+    /// Set how this translator's state relates to crashes. With
+    /// [`StatePolicy::Durable`], accepted writes and armed periodic
+    /// interfaces are write-ahead-logged and recovered after a crash.
+    pub fn set_state_policy(&mut self, policy: StatePolicy) {
+        self.policy = policy;
+    }
+
+    /// Log one durable mutation; checkpoint when the cadence says so.
+    fn log_durable(&mut self, rec: &LogRecord) {
+        let due = match self.policy.bridge() {
+            Some(b) => b.log(rec),
+            None => return,
+        };
+        if due {
+            self.write_checkpoint();
+        }
+    }
+
+    /// Snapshot the translator's durable state into the store.
+    fn write_checkpoint(&mut self) {
+        let snap = TranslatorSnapshot {
+            armed: self.armed.iter().map(|(&i, &p)| (i, p)).collect(),
+            pending: self.pending.values().cloned().collect(),
+        };
+        let blob = snap.encode();
+        if let Some(b) = self.policy.bridge() {
+            b.save_checkpoint(&blob);
         }
     }
 
@@ -187,14 +235,26 @@ impl TranslatorActor {
                 }
             }
         }
-        for (idx, iface) in self.interfaces.iter().enumerate() {
-            if iface.class == IfaceClass::PeriodicNotify {
-                if let TemplateDesc::P { period } = &iface.stmt.lhs {
-                    if let Some(ms) = period_millis(period) {
-                        ctx.schedule_self(SimDuration::from_millis(ms), CmMsg::PollTick { idx });
-                    }
-                }
-            }
+        let to_arm: Vec<(usize, u64)> = self
+            .interfaces
+            .iter()
+            .enumerate()
+            .filter(|(_, iface)| iface.class == IfaceClass::PeriodicNotify)
+            .filter_map(|(idx, iface)| {
+                let TemplateDesc::P { period } = &iface.stmt.lhs else {
+                    return None;
+                };
+                period_millis(period).map(|ms| (idx, ms))
+            })
+            .collect();
+        for (idx, ms) in to_arm {
+            let period = SimDuration::from_millis(ms);
+            self.armed.insert(idx as u64, period);
+            self.log_durable(&LogRecord::PollArmed {
+                idx: idx as u64,
+                period,
+            });
+            ctx.schedule_self(period, CmMsg::PollTick { idx });
         }
     }
 
@@ -362,6 +422,20 @@ impl TranslatorActor {
                         trigger: wr_id,
                     },
                 );
+                // The write is now an accepted obligation: a durable
+                // translator remembers it until performed, so a crash
+                // in the acceptance-to-perform window delays it
+                // instead of losing it (§5's metric demotion).
+                let pw = PendingWrite {
+                    req_id,
+                    reply_to: reply_to.0,
+                    item: item.clone(),
+                    value: value.clone(),
+                    rule: iface_rule,
+                    trigger: wr_id,
+                };
+                self.pending.insert(req_id, pw.clone());
+                self.log_durable(&LogRecord::WriteAccepted(pw));
             }
             RequestKind::Enumerate(pattern) => {
                 // A meta-operation of the CMI: not part of the event
@@ -409,6 +483,11 @@ impl TranslatorActor {
         ctx: &mut Ctx<'_, CmMsg>,
     ) {
         let now = ctx.now();
+        // Performed or definitively rejected — either way the
+        // obligation is discharged.
+        if self.pending.remove(&req_id).is_some() {
+            self.log_durable(&LogRecord::WritePerformed { req_id });
+        }
         match self.backend.write(item, value, now) {
             Ok(old) => {
                 let desc = EventDesc::W {
@@ -512,6 +591,40 @@ impl TranslatorActor {
         }
         if now + SimDuration::from_millis(period_ms) <= self.stop_periodics_at {
             ctx.schedule_self(SimDuration::from_millis(period_ms), CmMsg::PollTick { idx });
+        } else if self.armed.remove(&(idx as u64)).is_some() {
+            self.log_durable(&LogRecord::PollDisarmed { idx: idx as u64 });
+        }
+    }
+
+    /// Re-arm the periodic-notify interfaces in `self.armed` (used by
+    /// recovery; gated on `stop_periodics_at`).
+    fn rearm_polls(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
+        let now = ctx.now();
+        for (&idx, &period) in &self.armed {
+            if now + period <= self.stop_periodics_at {
+                ctx.schedule_self(period, CmMsg::PollTick { idx: idx as usize });
+            }
+        }
+    }
+
+    /// Rebuild `self.armed` from the CM-RID alone — what a restarted
+    /// translator with no durable store can still do, since the RID is
+    /// static configuration.
+    fn arm_from_config(&mut self) {
+        let to_arm: Vec<(usize, u64)> = self
+            .interfaces
+            .iter()
+            .enumerate()
+            .filter(|(_, iface)| iface.class == IfaceClass::PeriodicNotify)
+            .filter_map(|(idx, iface)| {
+                let TemplateDesc::P { period } = &iface.stmt.lhs else {
+                    return None;
+                };
+                period_millis(period).map(|ms| (idx, ms))
+            })
+            .collect();
+        for (idx, ms) in to_arm {
+            self.armed.insert(idx as u64, SimDuration::from_millis(ms));
         }
     }
 }
@@ -526,6 +639,84 @@ fn period_millis(period: &hcm_core::Term) -> Option<u64> {
 impl Actor<CmMsg> for TranslatorActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
         self.initialize(ctx);
+    }
+
+    fn on_crash(&mut self, lossy: bool, _ctx: &mut Ctx<'_, CmMsg>) {
+        if !lossy || !self.policy.wipes_on_lossy_crash() {
+            return;
+        }
+        self.crashed_lossy = true;
+        // Obligations destroyed with the process image; without a
+        // store they are gone for good.
+        if matches!(self.policy, StatePolicy::Lose) {
+            for _ in 0..self.pending.len() {
+                self.stats.inc("translator.writes_lost");
+            }
+        }
+        self.pending.clear();
+        self.armed.clear();
+        self.extra = SimDuration::ZERO;
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, CmMsg>) {
+        if !std::mem::take(&mut self.crashed_lossy) {
+            return;
+        }
+        if matches!(self.policy, StatePolicy::Lose) {
+            // Restarted from static configuration alone: periodic
+            // interfaces re-arm (the CM-RID is config); accepted
+            // writes are lost.
+            self.arm_from_config();
+            self.rearm_polls(ctx);
+            return;
+        }
+        let Some((ckpt, records)) = self.policy.bridge().map(StoreBridge::recover) else {
+            return;
+        };
+        // Snapshot first, then the log suffix on top.
+        if let Some(snap) = ckpt.and_then(|blob| TranslatorSnapshot::decode(&blob).ok()) {
+            self.armed.extend(snap.armed);
+            for pw in snap.pending {
+                self.pending.insert(pw.req_id, pw);
+            }
+        }
+        for rec in records {
+            match rec {
+                LogRecord::WriteAccepted(pw) => {
+                    self.pending.insert(pw.req_id, pw);
+                }
+                LogRecord::WritePerformed { req_id } => {
+                    self.pending.remove(&req_id);
+                }
+                LogRecord::PollArmed { idx, period } => {
+                    self.armed.insert(idx, period);
+                }
+                LogRecord::PollDisarmed { idx } => {
+                    self.armed.remove(&idx);
+                }
+                // Shell-only records never appear in a translator log.
+                _ => {}
+            }
+        }
+        self.rearm_polls(ctx);
+        // Re-schedule every write that was accepted but unperformed
+        // when the crash hit: it lands after a fresh service delay —
+        // delayed, not lost (§5's metric demotion).
+        let survivors: Vec<PendingWrite> = self.pending.values().cloned().collect();
+        for pw in survivors {
+            self.stats.inc("translator.writes_recovered");
+            ctx.schedule_self(
+                self.delay(),
+                CmMsg::PerformWrite {
+                    req_id: pw.req_id,
+                    reply_to: ActorId(pw.reply_to),
+                    item: pw.item,
+                    value: pw.value,
+                    rule: pw.rule,
+                    trigger: pw.trigger,
+                },
+            );
+        }
     }
 
     fn on_message(&mut self, msg: CmMsg, ctx: &mut Ctx<'_, CmMsg>) {

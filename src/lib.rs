@@ -19,6 +19,8 @@
 //!   referential integrity, periodic propagation, and the 2PC baseline.
 //! * [`obs`] — deterministic sim-time observability: metrics registry,
 //!   causal rule-firing spans, snapshot exporters.
+//! * [`store`] — durable state: append-only CRC-checked event log,
+//!   checkpoints, crash-recovery replay (§5 "remember messages").
 //! * [`harness`] — toolkit↔checker glue: build a rule set from a
 //!   scenario, run the standard post-mortem.
 
@@ -31,4 +33,5 @@ pub use hcm_protocols as protocols;
 pub use hcm_ris as ris;
 pub use hcm_rulelang as rulelang;
 pub use hcm_simkit as simkit;
+pub use hcm_store as store;
 pub use hcm_toolkit as toolkit;
