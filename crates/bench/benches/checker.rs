@@ -14,7 +14,7 @@ fn rule_set_of(scenario: &Scenario) -> RuleSet {
             rs.add_interface(*id, site.site, stmt);
         }
     }
-    for rule in &scenario.strategy.rules {
+    for rule in scenario.strategy.rules.iter() {
         rs.add_strategy(rule.id, rule.lhs_site, rule.rhs_site, &rule.rule);
     }
     rs

@@ -35,6 +35,19 @@ pub mod harness {
         pub p95_ms: f64,
         /// Sample count.
         pub samples: u32,
+        /// Events processed per run, when the case measures throughput
+        /// (see [`time_rate`]); `None` for pure-latency cases.
+        pub events: Option<u64>,
+    }
+
+    impl Timing {
+        /// Events per wall-clock second at the mean, when known.
+        #[must_use]
+        pub fn events_per_s(&self) -> Option<f64> {
+            self.events
+                .map(|e| e as f64 / (self.mean_ms / 1000.0))
+                .filter(|r| r.is_finite())
+        }
     }
 
     /// `true` when a smoke run was requested (`HCM_BENCH_QUICK=1`):
@@ -61,12 +74,26 @@ pub mod harness {
     /// `samples` may be overridden by the environment — see
     /// [`effective_samples`].
     pub fn time<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) -> Timing {
+        let mut t = time_rate(name, samples, || {
+            std::hint::black_box(f());
+            0
+        });
+        t.events = None;
+        t
+    }
+
+    /// Like [`time`], but the closure reports how many events the run
+    /// processed, so the case carries an events/sec throughput figure.
+    /// Runs are deterministic per seed, so the count from the last
+    /// sample stands for all of them.
+    pub fn time_rate(name: &str, samples: u32, mut f: impl FnMut() -> u64) -> Timing {
         let samples = effective_samples(samples);
         std::hint::black_box(f());
         let mut runs = Vec::with_capacity(samples as usize);
+        let mut events = 0;
         for _ in 0..samples {
             let t0 = Instant::now();
-            std::hint::black_box(f());
+            events = std::hint::black_box(f());
             runs.push(t0.elapsed().as_secs_f64() * 1000.0);
         }
         let mean = runs.iter().sum::<f64>() / f64::from(samples);
@@ -85,6 +112,7 @@ pub mod harness {
             p50_ms: rank(0.50),
             p95_ms: rank(0.95),
             samples,
+            events: Some(events),
         }
     }
 
@@ -99,12 +127,15 @@ pub mod harness {
 [bench:{bench}]"
         );
         eprintln!(
-            "  {:<40} {:>11} {:>11} {:>11} {:>11} {:>6}",
-            "case", "mean (ms)", "min (ms)", "p50 (ms)", "p95 (ms)", "n"
+            "  {:<40} {:>11} {:>11} {:>11} {:>11} {:>10} {:>6}",
+            "case", "mean (ms)", "min (ms)", "p50 (ms)", "p95 (ms)", "events/s", "n"
         );
         for t in timings {
+            let rate = t
+                .events_per_s()
+                .map_or_else(|| "-".to_string(), |r| format!("{r:.0}"));
             eprintln!(
-                "  {:<40} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>6}",
+                "  {:<40} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {rate:>10} {:>6}",
                 t.name, t.mean_ms, t.min_ms, t.p50_ms, t.p95_ms, t.samples
             );
         }
@@ -117,17 +148,57 @@ pub mod harness {
         if std::fs::write(&path, &json).is_ok() {
             eprintln!("  wrote {}", path.display());
         }
-        if let Some(base) = baseline_path(bench) {
-            compare_to_baseline(bench, timings, &base);
+        let gate = gate_pct();
+        if let Some(base) = baseline_path(bench, gate.is_some()) {
+            let compared = compare_to_baseline(bench, timings, &base);
+            if let Some(pct) = gate {
+                let failed: Vec<_> = compared
+                    .iter()
+                    .filter(|(_, base, now)| *now > base * (1.0 + pct / 100.0))
+                    .collect();
+                if failed.is_empty() {
+                    eprintln!("  gate: ok (threshold +{pct:.0}%)");
+                } else {
+                    for (name, base, now) in &failed {
+                        eprintln!(
+                            "  gate: FAIL {name}: {now:.2} ms vs baseline {base:.2} ms \
+                             (allowed +{pct:.0}%)"
+                        );
+                    }
+                    std::process::exit(1);
+                }
+            }
+        } else if gate.is_some() {
+            eprintln!("  gate: no baseline found for {bench} — skipped");
         }
+    }
+
+    /// Regression-gate threshold, when requested: `--gate <pct>` /
+    /// `--gate=<pct>` in the binary's args or the `HCM_BENCH_GATE` env
+    /// var. A case whose fresh mean exceeds its committed baseline mean
+    /// by more than `pct` percent makes the bench exit non-zero.
+    #[must_use]
+    pub fn gate_pct() -> Option<f64> {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if let Some(p) = a.strip_prefix("--gate=") {
+                return p.parse().ok();
+            }
+            if a == "--gate" {
+                return args.next()?.parse().ok();
+            }
+        }
+        std::env::var("HCM_BENCH_GATE").ok()?.parse().ok()
     }
 
     /// Resolve the requested baseline file, if any: `--baseline=PATH`
     /// / `--baseline PATH` / bare `--baseline` in the binary's args,
     /// or the `HCM_BENCH_BASELINE` env var (a path, or `1` for the
     /// default). The default is the committed pre-optimization
-    /// snapshot `benches/baselines/pre/BENCH_<bench>.json`.
-    fn baseline_path(bench: &str) -> Option<std::path::PathBuf> {
+    /// snapshot `benches/baselines/pre/BENCH_<bench>.json`. A gate run
+    /// (`gated`) falls back to the default even when no baseline was
+    /// named explicitly.
+    fn baseline_path(bench: &str, gated: bool) -> Option<std::path::PathBuf> {
         let default = || {
             std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../../benches/baselines/pre")
@@ -148,18 +219,26 @@ pub mod harness {
         match std::env::var("HCM_BENCH_BASELINE") {
             Ok(v) if v == "1" || v.is_empty() => Some(default()),
             Ok(v) => Some(v.into()),
+            Err(_) if gated => Some(default()),
             Err(_) => None,
         }
     }
 
     /// Diff fresh timings against a committed `BENCH_*.json`: per-case
     /// speedup (baseline mean / fresh mean), flagging regressions.
-    fn compare_to_baseline(bench: &str, timings: &[Timing], path: &std::path::Path) {
+    /// Returns the matched `(case, baseline_ms, fresh_ms)` triples for
+    /// the gate.
+    fn compare_to_baseline(
+        bench: &str,
+        timings: &[Timing],
+        path: &std::path::Path,
+    ) -> Vec<(String, f64, f64)> {
         let Ok(text) = std::fs::read_to_string(path) else {
             eprintln!("  baseline: {} not readable — skipped", path.display());
-            return;
+            return Vec::new();
         };
         let base = parse_case_means(&text);
+        let mut matched = Vec::new();
         eprintln!("\n[bench:{bench}] vs baseline {}", path.display());
         eprintln!(
             "  {:<40} {:>13} {:>11} {:>9}",
@@ -174,10 +253,12 @@ pub mod harness {
                         "  {:<40} {:>13.2} {:>11.2} {speedup:>8.2}x{marker}",
                         t.name, b, t.mean_ms
                     );
+                    matched.push((t.name.clone(), *b, t.mean_ms));
                 }
                 None => eprintln!("  {:<40} {:>13} {:>11.2}", t.name, "absent", t.mean_ms),
             }
         }
+        matched
     }
 
     /// Extract `(name, mean_ms)` pairs from a `BENCH_*.json` report.
@@ -217,9 +298,13 @@ pub mod harness {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"mean_ms\":{:.3},\"min_ms\":{:.3},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"samples\":{}}}",
+                "{{\"name\":\"{}\",\"mean_ms\":{:.3},\"min_ms\":{:.3},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"samples\":{}",
                 t.name, t.mean_ms, t.min_ms, t.p50_ms, t.p95_ms, t.samples
             ));
+            if let (Some(events), Some(rate)) = (t.events, t.events_per_s()) {
+                out.push_str(&format!(",\"events\":{events},\"events_per_s\":{rate:.0}"));
+            }
+            out.push('}');
         }
         out.push_str("]}\n");
         out
@@ -245,10 +330,33 @@ pub mod harness {
                 p50_ms: 12.0,
                 p95_ms: 19.0,
                 samples: 10,
+                events: None,
             };
             let json = to_json("x", &[t]);
             let cases = parse_case_means(&json);
             assert_eq!(cases, vec![("case_a".to_string(), 12.5)]);
+        }
+
+        #[test]
+        fn throughput_cases_parse_and_report_rate() {
+            let t = Timing {
+                name: "engine".into(),
+                mean_ms: 2000.0,
+                min_ms: 2000.0,
+                p50_ms: 2000.0,
+                p95_ms: 2000.0,
+                samples: 3,
+                events: Some(100_000),
+            };
+            assert_eq!(t.events_per_s(), Some(50_000.0));
+            let json = to_json("x", &[t]);
+            assert!(json.contains("\"events\":100000"));
+            assert!(json.contains("\"events_per_s\":50000"));
+            // Extra fields must not confuse the baseline scanner.
+            assert_eq!(
+                parse_case_means(&json),
+                vec![("engine".to_string(), 2000.0)]
+            );
         }
 
         #[test]
@@ -351,10 +459,10 @@ pub mod sweep {
 
 /// Common scenario builders shared by the bench targets.
 pub mod scenarios {
-    use hcm_core::{SimDuration, SimTime};
+    use hcm_core::{SimDuration, SimTime, Value};
     use hcm_toolkit::backends::RawStore;
     use hcm_toolkit::workload::PoissonWriter;
-    use hcm_toolkit::{Scenario, ScenarioBuilder};
+    use hcm_toolkit::{Scenario, ScenarioBuilder, SpontaneousOp};
 
     /// CM-RID for the notify-source salary site.
     pub const RID_SRC: &str = r#"
@@ -442,6 +550,94 @@ N(salary1(n), b) -> WR(salary2(n), b) within 5s
             ids,
             (1, 1_000_000),
         )));
+        sc
+    }
+
+    /// Depth of the private-write chain every engine-bench site runs
+    /// (`N → W(p0) → … → W(p_DEPTH)`): each spontaneous store write
+    /// triggers `DEPTH + 2` shell-matched events.
+    pub const ENGINE_CHAIN_DEPTH: usize = 3;
+
+    /// Distinct keys each engine-bench writer cycles through.
+    const ENGINE_KEYS: u64 = 32;
+
+    /// The engine scale-sweep scenario: `sites` KV sites, each with its
+    /// own mapped base `k<s>`, a Poisson writer, and `rules_per_site`
+    /// strategy rules — one `N(k<s>) → W(p<s>x0)` entry rule, a
+    /// [`ENGINE_CHAIN_DEPTH`]-deep chain of CM-private write rules, and
+    /// never-firing filler rules on distinct private bases (`q<s>xj`)
+    /// that scale the per-site rule count without changing the event
+    /// volume. All rule work is site-local, so the measured cost is the
+    /// shell's dispatch + firing path, not the network model.
+    #[must_use]
+    pub fn engine_scenario(
+        seed: u64,
+        sites: usize,
+        rules_per_site: usize,
+        gap: SimDuration,
+        until: SimTime,
+    ) -> Scenario {
+        let depth = ENGINE_CHAIN_DEPTH;
+        assert!(
+            rules_per_site > depth,
+            "need at least the entry rule + {depth} chain rules"
+        );
+        let mut builder = ScenarioBuilder::new(seed);
+        let mut strategy = String::from("[locate]\n");
+        for s in 0..sites {
+            let rid = format!(
+                "ris = kv\nservice = 1ms\n[interface]\n\
+                 Ws(k{s}(n), b) -> N(k{s}(n), b) within 1s\n\
+                 [map k{s}]\nkey = k/$p0\n"
+            );
+            builder = builder
+                .site(
+                    &format!("S{s}"),
+                    RawStore::Kv(hcm_ris::kvstore::KvStore::new()),
+                    &rid,
+                )
+                .expect("engine RID compiles");
+            strategy.push_str(&format!("k{s} = S{s}\n"));
+        }
+        strategy.push_str("[private]\n");
+        for s in 0..sites {
+            for j in 0..=depth {
+                strategy.push_str(&format!("p{s}x{j} = S{s}\n"));
+            }
+            for j in 0..rules_per_site - 1 - depth {
+                strategy.push_str(&format!("q{s}x{j} = S{s}\n"));
+            }
+        }
+        strategy.push_str("[strategy]\n");
+        for s in 0..sites {
+            strategy.push_str(&format!("N(k{s}(n), b) -> W(p{s}x0(n), b) within 5s\n"));
+            for j in 0..depth {
+                let next = j + 1;
+                strategy.push_str(&format!(
+                    "W(p{s}x{j}(n), b) -> W(p{s}x{next}(n), b) within 5s\n"
+                ));
+            }
+            for j in 0..rules_per_site - 1 - depth {
+                strategy.push_str(&format!("W(q{s}x{j}(n), b) -> W(p{s}x0(n), b) within 5s\n"));
+            }
+        }
+        let mut sc = builder
+            .strategy(&strategy)
+            .build()
+            .expect("engine strategy compiles");
+        for s in 0..sites {
+            let target = sc.site(&format!("S{s}")).translator;
+            sc.add_actor(Box::new(PoissonWriter::new(
+                target,
+                gap,
+                until,
+                (1, 1_000_000),
+                Box::new(move |n, v| SpontaneousOp::KvPut {
+                    key: format!("k/u{}", n % ENGINE_KEYS),
+                    value: Value::Int(v),
+                }),
+            )));
+        }
         sc
     }
 }

@@ -142,6 +142,13 @@ impl Bindings {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
         self.map.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Drop every binding (keeping the log's allocation), so one
+    /// `Bindings` can serve as a scratch buffer across match attempts.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.log.clear();
+    }
 }
 
 impl fmt::Display for Bindings {

@@ -26,7 +26,7 @@ use hcm_obs::{Metrics, Scope};
 use hcm_simkit::{Actor, ActorId, Ctx, RunOutcome};
 use hcm_toolkit::backends::RawStore;
 use hcm_toolkit::msg::{CmMsg, RequestKind, TranslatorEvent};
-use hcm_toolkit::{Scenario, ScenarioBuilder};
+use hcm_toolkit::{DispatchMode, Scenario, ScenarioBuilder};
 
 /// How much slack the peer gives away when asked for `need`, given
 /// `avail` (its distance from value to limit).
@@ -493,6 +493,13 @@ col = lim
 /// constraints (`X ≤ Lx`, `Y ≥ Ly`), a translator each, and the two
 /// protocol agents wired as their shells' peers.
 pub fn build(cfg: DemarcConfig) -> DemarcScenario {
+    build_with_dispatch(cfg, DispatchMode::default())
+}
+
+/// [`build`], but pinning the shells' rule-dispatch mode — the
+/// perf-equivalence suite runs E3 cells under both modes and demands
+/// byte-identical observability.
+pub fn build_with_dispatch(cfg: DemarcConfig, dispatch: DispatchMode) -> DemarcScenario {
     use hcm_ris::relational::{Check, CheckOperand, Database, SqlOp};
 
     let mut db_x = Database::new();
@@ -533,6 +540,7 @@ pub fn build(cfg: DemarcConfig) -> DemarcScenario {
         .site("B", RawStore::Relational(db_y), RID_Y)
         .unwrap()
         .strategy("[locate]\nx = A\nxlim = A\ny = B\nylim = B\n")
+        .dispatch_mode(dispatch)
         .build()
         .unwrap();
 

@@ -16,6 +16,15 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActorId(pub u32);
 
+impl ActorId {
+    /// Distinguished sender id for messages injected from outside the
+    /// simulation (workload drivers, test harnesses). No registered
+    /// actor ever gets this id, so attribution can tell external
+    /// traffic from actor-to-actor sends instead of blaming the
+    /// recipient for its own workload.
+    pub const EXTERNAL: ActorId = ActorId(u32::MAX);
+}
+
 impl fmt::Display for ActorId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "actor{}", self.0)

@@ -98,7 +98,7 @@ impl<M> Sim<M> {
     pub fn with_network(seed: u64, net: Network) -> Self {
         Sim {
             actors: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(1024),
             held: Vec::new(),
             now: SimTime::ZERO,
             seq: 0,
@@ -168,14 +168,32 @@ impl<M> Sim<M> {
     }
 
     /// Inject a message from "outside" (workload drivers, test
-    /// harnesses) for delivery to `to` at absolute time `at`.
+    /// harnesses) for delivery to `to` at absolute time `at`. The
+    /// sender is recorded as [`ActorId::EXTERNAL`], not the recipient.
     pub fn inject_at(&mut self, at: SimTime, to: ActorId, msg: M) {
         let seq = self.bump_seq();
         self.queue.push(Reverse(Scheduled {
             at,
             seq,
-            entry: Entry::Deliver { to, from: to, msg },
+            entry: Entry::Deliver {
+                to,
+                from: ActorId::EXTERNAL,
+                msg,
+            },
         }));
+    }
+
+    /// Batched injection: reserve queue capacity for the whole batch
+    /// up front, then inject each `(at, to, msg)` with consecutive
+    /// sequence numbers — semantically identical to calling
+    /// [`Sim::inject_at`] per message, without per-push reallocation.
+    pub fn inject_many(&mut self, msgs: impl IntoIterator<Item = (SimTime, ActorId, M)>) {
+        let msgs = msgs.into_iter();
+        let (lo, hi) = msgs.size_hint();
+        self.queue.reserve(hi.unwrap_or(lo));
+        for (at, to, msg) in msgs {
+            self.inject_at(at, to, msg);
+        }
     }
 
     /// Schedule a crash. `lossy` controls whether messages arriving
@@ -705,6 +723,47 @@ mod tests {
         );
         // The send attempted from on_crash never reached the peer.
         assert!(peer_log.borrow().is_empty());
+    }
+
+    #[test]
+    fn inject_many_matches_repeated_inject_at() {
+        fn run(batched: bool) -> Vec<(SimTime, Msg)> {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = fixed_sim(0);
+            let a = sim.add_actor(Box::new(Echo {
+                peer: None,
+                log: log.clone(),
+                ticks: 0,
+            }));
+            let msgs: Vec<_> = (0..5u64)
+                .map(|i| (SimTime::from_millis(i * 3), a, Msg::Ping(0)))
+                .collect();
+            if batched {
+                sim.inject_many(msgs);
+            } else {
+                for (at, to, m) in msgs {
+                    sim.inject_at(at, to, m);
+                }
+            }
+            sim.run_to_quiescence();
+            let out = log.borrow().clone();
+            out
+        }
+        assert_eq!(run(true), run(false));
+        assert_eq!(run(true).len(), 5);
+    }
+
+    #[test]
+    fn external_sender_id_collides_with_no_actor() {
+        let mut sim = fixed_sim(0);
+        for _ in 0..4 {
+            let id = sim.add_actor(Box::new(Echo {
+                peer: None,
+                log: Rc::new(RefCell::new(Vec::new())),
+                ticks: 0,
+            }));
+            assert_ne!(id, ActorId::EXTERNAL);
+        }
     }
 
     #[test]

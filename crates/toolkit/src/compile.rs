@@ -29,6 +29,7 @@ use hcm_core::{RuleId, RuleRegistry, SiteId, Sym, TemplateDesc};
 use hcm_rulelang::{parse_guarantee, parse_strategy_rule, Guarantee, SpecFile, StrategyRule};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::rc::Rc;
 
 /// A strategy-compilation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,14 +122,21 @@ pub struct CompiledRule {
 
 /// A compiled strategy: placed rules, the locator, interest patterns,
 /// and the declared guarantees.
+///
+/// The rule arena and the locator live behind `Rc`: every shell of a
+/// deployment shares one copy instead of deep-cloning `sites ×
+/// total_rules` rules (and as many locator entries) at construction.
 #[derive(Debug, Clone, Default)]
 pub struct CompiledStrategy {
-    /// Rules in specification order.
-    pub rules: Vec<CompiledRule>,
-    /// Object placement.
-    pub locator: Locator,
+    /// Rules in specification order (shared arena).
+    pub rules: Rc<Vec<CompiledRule>>,
+    /// Object placement (shared).
+    pub locator: Rc<Locator>,
     /// Declared guarantees.
     pub guarantees: Vec<Guarantee>,
+    /// Rule id → position in `rules`, built once and shared by every
+    /// shell for remote-fire lookups.
+    lookup: Rc<HashMap<RuleId, usize>>,
 }
 
 impl CompiledStrategy {
@@ -180,11 +188,19 @@ impl CompiledStrategy {
             guarantees.push(g);
         }
 
+        let lookup = rules.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
         Ok(CompiledStrategy {
-            rules,
-            locator,
+            rules: Rc::new(rules),
+            locator: Rc::new(locator),
             guarantees,
+            lookup: Rc::new(lookup),
         })
+    }
+
+    /// The shared rule-id → arena-position lookup.
+    #[must_use]
+    pub fn rule_lookup(&self) -> Rc<HashMap<RuleId, usize>> {
+        Rc::clone(&self.lookup)
     }
 
     /// Rules whose LHS the given site's shell evaluates, excluding
@@ -240,7 +256,7 @@ impl CompiledStrategy {
     /// Look up a compiled rule by id.
     #[must_use]
     pub fn rule(&self, id: RuleId) -> Option<&CompiledRule> {
-        self.rules.iter().find(|r| r.id == id)
+        self.lookup.get(&id).map(|&i| &self.rules[i])
     }
 }
 

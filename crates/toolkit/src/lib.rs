@@ -41,6 +41,7 @@
 pub mod backend;
 pub mod backends;
 pub mod compile;
+pub mod dispatch;
 pub mod durability;
 pub mod menu;
 pub mod msg;
@@ -52,6 +53,7 @@ pub mod translator;
 pub mod workload;
 
 pub use compile::CompiledStrategy;
+pub use dispatch::{DispatchMode, RuleIndex};
 pub use durability::{Durability, StatePolicy, StoreBridge, StoreKind, StoreSetup};
 pub use msg::{CmMsg, RequestKind, SpontaneousOp, TranslatorEvent};
 pub use registry::{FailureKind, GuaranteeRegistry, GuaranteeStatus};

@@ -11,6 +11,7 @@
 
 use crate::backends::{build_backend, RawStore};
 use crate::compile::CompiledStrategy;
+use crate::dispatch::DispatchMode;
 use crate::durability::{Durability, StatePolicy, StoreBridge, StoreKind};
 use crate::msg::{CmMsg, SpontaneousOp};
 use crate::registry::GuaranteeRegistry;
@@ -128,6 +129,7 @@ pub struct ScenarioBuilder {
     stop_periodics_at: SimTime,
     private_init: Vec<(String, ItemId, Value)>,
     durability: Durability,
+    dispatch: DispatchMode,
 }
 
 impl ScenarioBuilder {
@@ -143,7 +145,18 @@ impl ScenarioBuilder {
             stop_periodics_at: SimTime::from_millis(u64::MAX),
             private_init: Vec::new(),
             durability: Durability::default(),
+            dispatch: DispatchMode::default(),
         }
+    }
+
+    /// Select the shells' LHS matching path. The default
+    /// [`DispatchMode::Indexed`] probes the discrimination index;
+    /// [`DispatchMode::Linear`] retains the reference full scan (same
+    /// observable behaviour, used for differential testing).
+    #[must_use]
+    pub fn dispatch_mode(mut self, mode: DispatchMode) -> Self {
+        self.dispatch = mode;
+        self
     }
 
     /// What a *lossy* crash does to component state (§5): the default
@@ -255,9 +268,7 @@ impl ScenarioBuilder {
         let obs = sim.obs();
 
         // Actor id layout: shells first (0..n), translators next (n..2n).
-        let shells_map: BTreeMap<SiteId, ActorId> = (0..n)
-            .map(|i| (SiteId::new(i as u32), ActorId(i as u32)))
-            .collect();
+        let shell_ids: Vec<ActorId> = (0..n).map(|i| ActorId(i as u32)).collect();
 
         // Per-site shared state.
         let mut handles = Vec::with_capacity(n);
@@ -285,7 +296,7 @@ impl ScenarioBuilder {
             let mut shell = ShellActor::new(
                 site,
                 ActorId((n + i) as u32),
-                shells_map.clone(),
+                shell_ids.clone(),
                 &strategy,
                 privates[i].clone(),
                 registries[i].clone(),
@@ -294,6 +305,7 @@ impl ScenarioBuilder {
                 self.failure_cfg,
                 self.stop_periodics_at,
             );
+            shell.set_dispatch_mode(self.dispatch);
             let (policy, store) = actor_policy(
                 &self.durability,
                 &format!("site{i}-shell"),

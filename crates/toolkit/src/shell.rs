@@ -15,6 +15,7 @@
 //! and keeps the site's [`GuaranteeRegistry`].
 
 use crate::compile::{CompiledRule, CompiledStrategy, Locator};
+use crate::dispatch::{DispatchMode, RuleIndex};
 use crate::durability::{
     fail_to_tag, status_to_tag, tag_to_fail, tag_to_status, StatePolicy, StoreBridge,
 };
@@ -26,7 +27,6 @@ use hcm_core::{
 };
 use hcm_obs::{Metrics, Obs, Scope, SpanId, SpanKind, Spans};
 use hcm_rulelang::ast::BindingsEnv;
-use hcm_rulelang::StrategyRule;
 use hcm_simkit::{Actor, ActorId, Ctx};
 use hcm_store::{LogRecord, ShellSnapshot};
 use std::cell::RefCell;
@@ -135,22 +135,38 @@ struct Outstanding {
     sent_at: SimTime,
 }
 
+/// A `P`-headed rule this shell arms timers for, with its period
+/// precomputed at construction so ticks don't re-destructure the LHS.
+struct PeriodicRule {
+    /// Position in the shared rule arena.
+    pos: usize,
+    /// Constant period; `None` (non-constant or non-positive) never
+    /// arms a timer.
+    period: Option<SimDuration>,
+}
+
 /// The CM-Shell actor. See module docs.
 pub struct ShellActor {
     site: SiteId,
     translator: ActorId,
-    /// Shell of every site, for RemoteFire/Custom/FailureNotice routing.
-    shells: BTreeMap<SiteId, ActorId>,
-    /// Every compiled rule (execution needs RHS definitions of rules
-    /// matched elsewhere).
-    rules: Vec<CompiledRule>,
-    /// Indices into `rules` whose LHS this shell evaluates.
+    /// Shell of every site, indexed by site ordinal, for
+    /// RemoteFire/Custom/FailureNotice routing.
+    shells: Vec<ActorId>,
+    /// Shared arena of every compiled rule (execution needs RHS
+    /// definitions of rules matched elsewhere).
+    rules: Rc<Vec<CompiledRule>>,
+    /// Positions into `rules` whose LHS this shell evaluates.
     my_rules: Vec<usize>,
-    /// Rule id → index into `rules` (remote fires look rules up by id).
-    rule_index: HashMap<RuleId, usize>,
-    /// Indices of `P`-headed rules this shell arms timers for.
-    periodic_rules: Vec<usize>,
-    locator: Locator,
+    /// Discrimination index over `my_rules` (see [`crate::dispatch`]).
+    dispatch: RuleIndex,
+    /// Which matching path `process_event` takes.
+    mode: DispatchMode,
+    /// Rule id → arena position (remote fires look rules up by id);
+    /// built once per strategy, shared by every shell.
+    rule_index: Rc<HashMap<RuleId, usize>>,
+    /// `P`-headed rules this shell arms timers for.
+    periodic_rules: Vec<PeriodicRule>,
+    locator: Rc<Locator>,
     /// CM-private and auxiliary data (shared with the scenario so
     /// applications can read it — §7.1).
     private: Rc<RefCell<BTreeMap<ItemId, Value>>>,
@@ -168,16 +184,33 @@ pub struct ShellActor {
     policy: StatePolicy,
     /// Set by a lossy crash; consumed by the next recovery.
     crashed_lossy: bool,
+    /// Scratch bindings reused across LHS match attempts.
+    match_scratch: Bindings,
+    /// Scratch list of (rule position, bindings) firings per event.
+    firing_scratch: Vec<(usize, Bindings)>,
+    /// Scratch list of candidate rule positions per event.
+    cand_scratch: Vec<usize>,
+}
+
+/// The constant period of a `P`-headed LHS, when it has one.
+fn const_period(lhs: &TemplateDesc) -> Option<SimDuration> {
+    match lhs {
+        TemplateDesc::P {
+            period: hcm_core::Term::Const(Value::Int(ms @ 1..)),
+        } => Some(SimDuration::from_millis(*ms as u64)),
+        _ => None,
+    }
 }
 
 impl ShellActor {
     /// Build a shell for `site`. `strategy` supplies rules, placement
-    /// and the locator; `shells` maps every site to its shell actor.
+    /// and the locator; `shells` holds every site's shell actor,
+    /// indexed by site ordinal.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         site: SiteId,
         translator: ActorId,
-        shells: BTreeMap<SiteId, ActorId>,
+        shells: Vec<ActorId>,
         strategy: &CompiledStrategy,
         private: Rc<RefCell<BTreeMap<ItemId, Value>>>,
         registry: Rc<RefCell<GuaranteeRegistry>>,
@@ -186,8 +219,8 @@ impl ShellActor {
         failure_cfg: FailureConfig,
         stop_periodics_at: SimTime,
     ) -> Self {
-        let rules = strategy.rules.clone();
-        let my_rules = rules
+        let rules = Rc::clone(&strategy.rules);
+        let my_rules: Vec<usize> = rules
             .iter()
             .enumerate()
             .filter(|(_, r)| r.lhs_site == site && !matches!(r.rule.lhs, TemplateDesc::P { .. }))
@@ -197,18 +230,23 @@ impl ShellActor {
             .iter()
             .enumerate()
             .filter(|(_, r)| r.lhs_site == site && matches!(r.rule.lhs, TemplateDesc::P { .. }))
-            .map(|(i, _)| i)
+            .map(|(i, r)| PeriodicRule {
+                pos: i,
+                period: const_period(&r.rule.lhs),
+            })
             .collect();
-        let rule_index = rules.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        let dispatch = RuleIndex::build(&rules, &my_rules);
         ShellActor {
             site,
             translator,
             shells,
-            rules,
             my_rules,
-            rule_index,
+            dispatch,
+            mode: DispatchMode::default(),
+            rule_index: strategy.rule_lookup(),
             periodic_rules,
-            locator: strategy.locator.clone(),
+            locator: Rc::clone(&strategy.locator),
+            rules,
             private,
             registry,
             recorder,
@@ -221,7 +259,18 @@ impl ShellActor {
             stop_periodics_at,
             policy: StatePolicy::default(),
             crashed_lossy: false,
+            match_scratch: Bindings::new(),
+            firing_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
         }
+    }
+
+    /// Select the LHS matching path. The default is
+    /// [`DispatchMode::Indexed`]; [`DispatchMode::Linear`] retains the
+    /// reference full scan for differential testing — both produce
+    /// byte-identical traces, metrics and spans.
+    pub fn set_dispatch_mode(&mut self, mode: DispatchMode) {
+        self.mode = mode;
     }
 
     /// Registry-backed view of this shell's counters.
@@ -294,11 +343,23 @@ impl ShellActor {
     }
 
     /// Match an event against this shell's rules and dispatch firings.
+    ///
+    /// Under [`DispatchMode::Indexed`] the candidate set comes from
+    /// the discrimination index — a strict subset of `my_rules` in the
+    /// same relative order, excluding only guaranteed kind/base
+    /// mismatches — so every observable side effect (trace, metrics,
+    /// spans, firing order) is identical to the linear scan.
     fn process_event(&mut self, id: EventId, desc: &EventDesc, ctx: &mut Ctx<'_, CmMsg>) {
-        let mut firings: Vec<(usize, Bindings)> = Vec::new();
-        for &i in &self.my_rules {
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        match self.mode {
+            DispatchMode::Linear => cands.extend_from_slice(&self.my_rules),
+            DispatchMode::Indexed => cands.extend(self.dispatch.candidates(desc)),
+        }
+        let mut bindings = std::mem::take(&mut self.match_scratch);
+        let mut firings = std::mem::take(&mut self.firing_scratch);
+        for &i in &cands {
             let r = &self.rules[i];
-            let mut bindings = Bindings::new();
+            bindings.clear();
             if !r.rule.lhs.match_desc(desc, &mut bindings) {
                 continue;
             }
@@ -322,23 +383,27 @@ impl ShellActor {
                 self.spans.end(s, ctx.now());
                 continue;
             }
-            firings.push((i, bindings));
+            firings.push((i, std::mem::take(&mut bindings)));
         }
-        for (i, bindings) in firings {
-            let r = &self.rules[i];
+        cands.clear();
+        self.cand_scratch = cands;
+        bindings.clear();
+        self.match_scratch = bindings;
+        let rules = Rc::clone(&self.rules);
+        for (i, bindings) in firings.drain(..) {
+            let r = &rules[i];
             if r.rhs_site == self.site {
-                let rule_id = r.id;
-                self.execute_rhs(rule_id, id, bindings, ctx);
+                self.execute_rhs(r.id, id, bindings, ctx);
             } else {
-                let target = self.shells[&r.rhs_site];
-                let s = self.spans.start(
+                let target = self.shells[r.rhs_site.index() as usize];
+                let s = self.spans.start_with(
                     SpanKind::RemoteFire,
                     None,
                     self.site,
                     Some(r.id),
                     Some(id),
                     ctx.now(),
-                    format!("to {}", r.rhs_site),
+                    || format!("to {}", r.rhs_site),
                 );
                 self.spans.end(s, ctx.now());
                 ctx.send(
@@ -351,6 +416,7 @@ impl ShellActor {
                 );
             }
         }
+        self.firing_scratch = firings;
     }
 
     /// Execute a rule's sequenced RHS at this (the RHS) site.
@@ -362,6 +428,27 @@ impl ShellActor {
         ctx: &mut Ctx<'_, CmMsg>,
     ) {
         let now = ctx.now();
+        // An unknown rule id (a corrupt or stale RemoteFire) degrades
+        // to a recorded logical-failure event + counter instead of
+        // killing the whole simulation.
+        let Some(&pos) = self.rule_index.get(&rule_id) else {
+            self.metrics
+                .inc(Scope::Site(self.site.index()), "shell.unknown_rule");
+            self.record(
+                now,
+                EventDesc::Custom {
+                    name: "UnknownRuleFire".into(),
+                    args: vec![
+                        Value::Int(i64::from(self.site.index())),
+                        Value::Str(rule_id.to_string()),
+                    ],
+                },
+                None,
+                None,
+                None,
+            );
+            return;
+        };
         self.stats.inc("shell.firings");
         // Firing latency: how long after its trigger occurred did this
         // rule's RHS begin executing (LHS transport + matching).
@@ -381,13 +468,8 @@ impl ShellActor {
             now,
             "",
         );
-        let rule: StrategyRule = match self.rule_index.get(&rule_id).map(|&i| &self.rules[i]) {
-            Some(r) => r.rule.clone(),
-            None => panic!(
-                "shell at {} asked to fire unknown rule {rule_id}",
-                self.site
-            ),
-        };
+        let rules = Rc::clone(&self.rules);
+        let rule = &rules[pos].rule;
         for (step_idx, step) in rule.steps.iter().enumerate() {
             // Step conditions are evaluated at firing time at the RHS
             // site (Appendix A.1), against CM-local data.
@@ -498,7 +580,7 @@ impl ShellActor {
                     self.rematch_later(id, d, ctx);
                 } else {
                     ctx.send(
-                        self.shells[&target_site],
+                        self.shells[target_site.index() as usize],
                         CmMsg::Custom {
                             desc: EventDesc::Custom { name, args },
                             rule: Some(rule),
@@ -599,8 +681,8 @@ impl ShellActor {
     }
 
     fn broadcast_failure(&self, kind: FailureKindMsg, ctx: &mut Ctx<'_, CmMsg>) {
-        for (&site, &shell) in &self.shells {
-            if site != self.site {
+        for (i, &shell) in self.shells.iter().enumerate() {
+            if i as u32 != self.site.index() {
                 ctx.send(
                     shell,
                     CmMsg::FailureNotice {
@@ -739,12 +821,7 @@ impl ShellActor {
             }
         }
         for idx in 0..self.periodic_rules.len() {
-            let rule_idx = self.periodic_rules[idx];
-            if let TemplateDesc::P {
-                period: hcm_core::Term::Const(Value::Int(ms @ 1..)),
-            } = &self.rules[rule_idx].rule.lhs
-            {
-                let period = SimDuration::from_millis(*ms as u64);
+            if let Some(period) = self.periodic_rules[idx].period {
                 if now + period <= self.stop_periodics_at {
                     ctx.schedule_self(period, CmMsg::RuleTick { idx });
                 }
@@ -754,22 +831,16 @@ impl ShellActor {
 
     fn handle_rule_tick(&mut self, idx: usize, ctx: &mut Ctx<'_, CmMsg>) {
         let now = ctx.now();
-        let Some(&rule_idx) = self.periodic_rules.get(idx) else {
+        let Some(pr) = self.periodic_rules.get(idx) else {
             return;
         };
-        let r = &self.rules[rule_idx];
-        let TemplateDesc::P { period } = &r.rule.lhs else {
+        let Some(period) = pr.period else {
             return;
         };
-        let ms = match period {
-            hcm_core::Term::Const(Value::Int(ms)) if *ms > 0 => *ms as u64,
-            _ => return,
-        };
+        let rules = Rc::clone(&self.rules);
+        let r = &rules[pr.pos];
         let rule_id = r.id;
-        let cond = r.rule.cond.clone();
-        let desc = EventDesc::P {
-            period: SimDuration::from_millis(ms),
-        };
+        let desc = EventDesc::P { period };
         let p_id = self.record(now, desc, None, None, None);
         // Evaluate the LHS condition and fire the RHS (locally, by
         // construction of periodic-rule placement).
@@ -779,15 +850,15 @@ impl ShellActor {
                 bindings: &bindings,
                 lookup: |item: &ItemId| self.private_lookup(item),
             };
-            cond.eval(&env)
+            r.rule.cond.eval(&env)
         };
         if cond_ok {
             self.execute_rhs(rule_id, p_id, bindings, ctx);
         } else {
             self.stats.inc("shell.cond_suppressed");
         }
-        if now + SimDuration::from_millis(ms) <= self.stop_periodics_at {
-            ctx.schedule_self(SimDuration::from_millis(ms), CmMsg::RuleTick { idx });
+        if now + period <= self.stop_periodics_at {
+            ctx.schedule_self(period, CmMsg::RuleTick { idx });
         }
     }
 }
@@ -800,15 +871,8 @@ impl Actor<CmMsg> for ShellActor {
             }
         }
         for idx in 0..self.periodic_rules.len() {
-            let rule_idx = self.periodic_rules[idx];
-            if let TemplateDesc::P {
-                period: hcm_core::Term::Const(Value::Int(ms @ 1..)),
-            } = &self.rules[rule_idx].rule.lhs
-            {
-                ctx.schedule_self(
-                    SimDuration::from_millis(*ms as u64),
-                    CmMsg::RuleTick { idx },
-                );
+            if let Some(period) = self.periodic_rules[idx].period {
+                ctx.schedule_self(period, CmMsg::RuleTick { idx });
             }
         }
         // Seed initial values of private items into the trace.

@@ -86,7 +86,7 @@ fn print_topology(sc: &Scenario) {
         }
     }
     println!("  strategy rules:");
-    for r in &sc.strategy.rules {
+    for r in sc.strategy.rules.iter() {
         println!(
             "    {} @ LHS {} / RHS {}: {}",
             r.id, r.lhs_site, r.rhs_site, r.rule
@@ -176,7 +176,7 @@ fn main() {
             rules.add_interface(*id, site.site, stmt);
         }
     }
-    for r in &sc.strategy.rules {
+    for r in sc.strategy.rules.iter() {
         rules.add_strategy(r.id, r.lhs_site, r.rhs_site, &r.rule);
     }
     let validity = check_validity(&trace, &rules);

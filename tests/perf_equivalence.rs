@@ -25,7 +25,8 @@ use hcm::protocols::demarcation::{self, DemarcConfig, GrantPolicy};
 use hcm::rulelang::parse_guarantee;
 use hcm::simkit::SimRng;
 use hcm::toolkit::backends::RawStore;
-use hcm::toolkit::{ScenarioBuilder, SpontaneousOp};
+use hcm::toolkit::shell::FailureConfig;
+use hcm::toolkit::{DispatchMode, Scenario, ScenarioBuilder, SpontaneousOp};
 use hcm_bench::sweep;
 
 const STRATEGY: &str = r#"
@@ -48,7 +49,29 @@ N(salary1(n), b) -> WR(salary2(n), b) within 5s
 /// includes the checker's own counters) plus the guarantee verdicts —
 /// as deterministic strings.
 fn salary_cell(seed: &u64) -> (String, String) {
-    let mut sc = ScenarioBuilder::new(*seed)
+    let (metrics, _, verdicts) = salary_cell_mode(*seed, DispatchMode::default());
+    (metrics, verdicts)
+}
+
+/// The full observable surface a dispatch mode must not perturb: the
+/// metrics snapshot, the complete recorded trace, and the post-mortem
+/// guarantee verdicts — all as deterministic strings.
+fn observables(sc: &Scenario) -> (String, String, String) {
+    let pm = hcm::harness::post_mortem(sc);
+    let verdicts = pm
+        .guarantees
+        .iter()
+        .map(|g| format!("{}:{}:{}", g.name, g.holds, g.instantiations))
+        .collect::<Vec<_>>()
+        .join(";");
+    // The event list is the trace's observable content (its lookup
+    // indices are HashMaps whose Debug order is unstable).
+    let trace = sc.recorder.with(|t| format!("{:?}", t.events()));
+    (sc.metrics_jsonl(), trace, verdicts)
+}
+
+fn salary_cell_mode(seed: u64, mode: DispatchMode) -> (String, String, String) {
+    let mut sc = ScenarioBuilder::new(seed)
         .site(
             "A",
             RawStore::Relational(employees_db(&[("e1", 100), ("e2", 250)])),
@@ -62,6 +85,7 @@ fn salary_cell(seed: &u64) -> (String, String) {
         )
         .unwrap()
         .strategy(STRATEGY)
+        .dispatch_mode(mode)
         .build()
         .unwrap();
     sc.inject(
@@ -73,14 +97,7 @@ fn salary_cell(seed: &u64) -> (String, String) {
         )),
     );
     sc.run_to_quiescence();
-    let pm = hcm::harness::post_mortem(&sc);
-    let verdicts = pm
-        .guarantees
-        .iter()
-        .map(|g| format!("{}:{}:{}", g.name, g.holds, g.instantiations))
-        .collect::<Vec<_>>()
-        .join(";");
-    (sc.metrics_jsonl(), verdicts)
+    observables(&sc)
 }
 
 #[test]
@@ -232,4 +249,118 @@ fn pruned_grids_keep_cross_atom_breakpoints() {
         check_guarantee(&tr, &wide, None).holds,
         "κ = 60s admits the 9s lag"
     );
+}
+
+// ───── dispatch pin: indexed rule dispatch must be invisible ─────
+//
+// The engine-fast-path PR replaced the shell's linear rule scan with a
+// discrimination index (plus Rc-shared rules and scratch-buffer
+// reuse). The linear path is retained as `DispatchMode::Linear`;
+// running the same seeded cell under both modes must produce
+// byte-identical metrics snapshots, traces, and post-mortem verdicts.
+
+#[test]
+fn dispatch_modes_agree_on_e1_salary_cells() {
+    for seed in [3u64, 8, 11] {
+        let lin = salary_cell_mode(seed, DispatchMode::Linear);
+        let idx = salary_cell_mode(seed, DispatchMode::Indexed);
+        assert_eq!(lin.0, idx.0, "metrics diverge at seed {seed}");
+        assert_eq!(lin.1, idx.1, "traces diverge at seed {seed}");
+        assert_eq!(lin.2, idx.2, "verdicts diverge at seed {seed}");
+    }
+}
+
+/// E3 demarcation cell under a pinned dispatch mode; custom limit-
+/// traffic events exercise the index's name-keyed bucket.
+fn demarc_mode_cell(seed: u64, mode: DispatchMode) -> (String, String, bool) {
+    let mut rng = SimRng::seeded(seed);
+    let mut t = SimTime::from_secs(5);
+    let ops: Vec<(SimTime, bool, i64)> = (0..12)
+        .map(|_| {
+            t += SimDuration::from_secs(rng.int_in(5, 40) as u64);
+            (t, rng.chance(0.5), rng.int_in(1, 15))
+        })
+        .collect();
+    let mut d = demarcation::build_with_dispatch(
+        DemarcConfig {
+            seed,
+            x0: 0,
+            y0: 400,
+            line: 200,
+            policy: GrantPolicy::HalfAvailable,
+        },
+        mode,
+    );
+    for &(at, lower, delta) in &ops {
+        d.try_update(at, lower, delta);
+    }
+    d.run();
+    let trace = d.scenario.recorder.with(|tr| format!("{:?}", tr.events()));
+    (d.scenario.metrics_jsonl(), trace, d.invariant_held())
+}
+
+#[test]
+fn dispatch_modes_agree_on_e3_demarcation_cells() {
+    for seed in [1u64, 9] {
+        let lin = demarc_mode_cell(seed, DispatchMode::Linear);
+        let idx = demarc_mode_cell(seed, DispatchMode::Indexed);
+        assert_eq!(lin, idx, "E3 observables diverge at seed {seed}");
+        assert!(idx.2, "demarcation invariant must hold at seed {seed}");
+    }
+}
+
+/// E7-style failure cell: an overload window (metric failure) and a
+/// lossy crash (logical failure) while updates keep flowing — the
+/// failure-detection and escalation paths run under both modes.
+fn failure_cell(seed: u64, mode: DispatchMode) -> (String, String, String) {
+    let mut sc = ScenarioBuilder::new(seed)
+        .site(
+            "A",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_SRC,
+        )
+        .unwrap()
+        .site(
+            "B",
+            RawStore::Relational(employees_db(&[("e1", 90_000)])),
+            RID_DST,
+        )
+        .unwrap()
+        .strategy(STRATEGY)
+        .failure_config(FailureConfig {
+            deadline: SimDuration::from_secs(5),
+            escalation: SimDuration::from_secs(30),
+            heartbeat: None,
+        })
+        .dispatch_mode(mode)
+        .build()
+        .unwrap();
+    let upd = |v: i64| {
+        SpontaneousOp::Sql(format!(
+            "update employees set salary = {v} where empid = 'e1'"
+        ))
+    };
+    sc.inject(SimTime::from_secs(10), "A", upd(95_000 + seed as i64));
+    sc.overload(
+        "B",
+        SimTime::from_secs(20),
+        SimTime::from_secs(60),
+        SimDuration::from_secs(20),
+    );
+    sc.inject(SimTime::from_secs(30), "A", upd(96_000));
+    sc.crash("B", SimTime::from_secs(80), true);
+    sc.inject(SimTime::from_secs(90), "A", upd(97_000));
+    sc.run_until(SimTime::from_secs(300));
+    observables(&sc)
+}
+
+#[test]
+fn dispatch_modes_agree_on_e7_failure_cells() {
+    for seed in [2u64, 6] {
+        let lin = failure_cell(seed, DispatchMode::Linear);
+        let idx = failure_cell(seed, DispatchMode::Indexed);
+        assert_eq!(lin.0, idx.0, "metrics diverge at seed {seed}");
+        assert_eq!(lin.1, idx.1, "traces diverge at seed {seed}");
+        assert_eq!(lin.2, idx.2, "verdicts diverge at seed {seed}");
+    }
 }
