@@ -1,0 +1,146 @@
+//! Ambient canonical-order keys for deterministic parallel recording.
+//!
+//! The sharded simulation (see `hcm-simkit`) processes each shard's
+//! events on its own worker thread, so the *wall-clock* order in which
+//! shared sinks — the trace, the span log, the metrics registry — see
+//! their writes is scheduling-dependent. To keep every observable byte
+//! identical to the serial execution, each worker installs the
+//! **dispatch key** of the message it is currently processing as the
+//! thread's ambient [`OrderKey`] base; every write a sink accepts while
+//! a key is installed is tagged with `(base, sub)` where `sub` is a
+//! per-dispatch counter shared by all sinks. At the end of a parallel
+//! run each sink stably sorts its tagged suffix by the full key, which
+//! reconstructs exactly the order a serial run would have produced:
+//!
+//! * the serial scheduler pops entries in `(time, phase, src, seq,
+//!   minor)` order (see `hcm-simkit`'s `Scheduled`), so dispatch keys
+//!   sort identically to serial processing order;
+//! * within one dispatch, writes happen in program order, captured by
+//!   `sub`.
+//!
+//! Serial runs never install a key, so every write takes the untagged
+//! fast path and the sinks behave exactly as before.
+
+use std::cell::Cell;
+
+/// Canonical position of one sink write within a run. Ordering is the
+/// serial processing order (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct OrderKey {
+    /// Virtual time of the dispatch, in milliseconds.
+    pub time: u64,
+    /// Scheduling phase: 0 for `on_start` hooks (which a serial run
+    /// executes before any dispatch), 1 for message/control dispatch.
+    pub phase: u8,
+    /// Sending actor of the dispatched message (`u32::MAX` for
+    /// external injections and controls).
+    pub src: u32,
+    /// The sender's per-actor send sequence number.
+    pub seq: u64,
+    /// Tie-breaker for entries materialized *by* a dispatch (held
+    /// messages replayed by a recovery control); 0 for normal sends.
+    pub minor: u32,
+    /// Per-dispatch write counter, shared across all sinks.
+    pub sub: u32,
+}
+
+thread_local! {
+    /// The installed dispatch-key base (`sub` unused) and the shared
+    /// write counter for the current dispatch.
+    static AMBIENT: Cell<Option<OrderKey>> = const { Cell::new(None) };
+}
+
+/// Install `base` as this thread's ambient key and reset the write
+/// counter. Workers call this before every dispatch; `base.sub` is
+/// ignored.
+pub fn install(mut base: OrderKey) {
+    base.sub = 0;
+    AMBIENT.with(|c| c.set(Some(base)));
+}
+
+/// Clear the ambient key (end of a dispatch, or end of the parallel
+/// run). Serial code never installs one, so its sinks never tag.
+pub fn clear() {
+    AMBIENT.with(|c| c.set(None));
+}
+
+/// When a key is installed, return it with the next `sub` value
+/// (incrementing the shared counter); `None` in serial contexts.
+#[must_use]
+pub fn next() -> Option<OrderKey> {
+    AMBIENT.with(|c| {
+        let mut k = c.get()?;
+        let out = k;
+        k.sub += 1;
+        c.set(Some(k));
+        Some(out)
+    })
+}
+
+/// Whether an ambient key is currently installed.
+#[must_use]
+pub fn active() -> bool {
+    AMBIENT.with(|c| c.get().is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_context_yields_no_keys() {
+        clear();
+        assert!(!active());
+        assert_eq!(next(), None);
+    }
+
+    #[test]
+    fn sub_counter_increments_per_take() {
+        install(OrderKey {
+            time: 5,
+            phase: 1,
+            src: 2,
+            seq: 9,
+            minor: 0,
+            sub: 77, // ignored
+        });
+        let a = next().unwrap();
+        let b = next().unwrap();
+        assert_eq!((a.time, a.src, a.seq, a.sub), (5, 2, 9, 0));
+        assert_eq!(b.sub, 1);
+        clear();
+        assert_eq!(next(), None);
+    }
+
+    #[test]
+    fn key_order_matches_serial_scheduler_order() {
+        let k = |time, phase, src, seq, minor, sub| OrderKey {
+            time,
+            phase,
+            src,
+            seq,
+            minor,
+            sub,
+        };
+        // on_start before any same-time dispatch; then (src, seq,
+        // minor, sub) lexicographically; time dominates everything.
+        let mut v = vec![
+            k(1, 1, 0, 1, 0, 0),
+            k(0, 1, 9, 1, 0, 0),
+            k(0, 1, 2, 4, 1, 0),
+            k(0, 1, 2, 4, 0, 3),
+            k(0, 0, 5, 0, 0, 0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                k(0, 0, 5, 0, 0, 0),
+                k(0, 1, 2, 4, 0, 3),
+                k(0, 1, 2, 4, 1, 0),
+                k(0, 1, 9, 1, 0, 0),
+                k(1, 1, 0, 1, 0, 0),
+            ]
+        );
+    }
+}

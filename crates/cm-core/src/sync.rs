@@ -1,0 +1,73 @@
+//! Shared mutable state handles.
+//!
+//! The toolkit historically shared per-site mutable state (CM-private
+//! data, guarantee registries, durable stores) through `Rc<RefCell<…>>`
+//! — sound because the simulation was single-threaded. The sharded
+//! executor moves actors onto worker threads, so those handles are now
+//! [`Shared`], a thin `Arc<Mutex<…>>` wrapper that keeps the familiar
+//! `borrow`/`borrow_mut` call shape. Lock scopes are exactly the old
+//! borrow scopes (which `RefCell` already proved non-reentrant), and
+//! each site's state is only ever touched by that site's co-located
+//! actors plus post-run inspection, so contention is nil.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A cheaply clonable, thread-safe shared cell.
+#[derive(Debug, Default)]
+pub struct Shared<T: ?Sized>(Arc<Mutex<T>>);
+
+impl<T> Shared<T> {
+    /// Wrap a value.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Shared(Arc::new(Mutex::new(value)))
+    }
+}
+
+impl<T: ?Sized> Shared<T> {
+    /// Lock for reading. Named `borrow` to match the `RefCell` call
+    /// shape this type replaced.
+    ///
+    /// # Panics
+    /// Panics if the lock is poisoned (a holder panicked).
+    pub fn borrow(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("Shared lock poisoned")
+    }
+
+    /// Lock for writing. See [`Shared::borrow`].
+    ///
+    /// # Panics
+    /// Panics if the lock is poisoned (a holder panicked).
+    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("Shared lock poisoned")
+    }
+}
+
+impl<T: ?Sized> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = Shared::new(1);
+        let b = a.clone();
+        *a.borrow_mut() += 1;
+        assert_eq!(*b.borrow(), 2);
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        let s = Shared::new(Vec::new());
+        let t = s.clone();
+        std::thread::spawn(move || t.borrow_mut().push(7))
+            .join()
+            .unwrap();
+        assert_eq!(*s.borrow(), vec![7]);
+    }
+}

@@ -2,9 +2,8 @@
 //!
 //! The paper's toolkit ran over real networks, Sybase servers and Unix
 //! file systems at Stanford. This crate is the substitution documented in
-//! `DESIGN.md`: a deterministic, single-threaded discrete-event
-//! simulation providing exactly the environment the paper's formal
-//! framework assumes —
+//! `DESIGN.md`: a deterministic discrete-event simulation providing
+//! exactly the environment the paper's formal framework assumes —
 //!
 //! * a **global virtual clock** ([`hcm_core::SimTime`]) against which
 //!   metric interface bounds (`→δ`) and metric guarantees (κ) can be
@@ -19,12 +18,18 @@
 //!
 //! The programming model is an actor loop: components implement
 //! [`Actor`] and exchange a user-chosen message type through [`Sim`].
+//!
+//! Execution is serial by default. With [`Sim::set_shard_map`], the
+//! run is partitioned across one worker thread per shard in
+//! conservative lock-step epochs (see [`shard`]), producing results
+//! byte-identical to the serial execution.
 
 #![warn(missing_docs)]
 
 pub mod actor;
 pub mod net;
 pub mod rng;
+mod shard;
 pub mod sim;
 
 pub use actor::{Actor, ActorId, Ctx};

@@ -46,6 +46,19 @@ impl SimRng {
         }
     }
 
+    /// Construct stream `stream` of the family keyed by `master` — the
+    /// per-actor RNG streams of a simulation. Each actor draws from its
+    /// own stream, so draw order is independent of how actor
+    /// executions interleave (the property the sharded executor needs),
+    /// while the whole family is still fully determined by one seed.
+    #[must_use]
+    pub fn derived(master: u64, stream: u64) -> Self {
+        let mut sm = master ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        // One splitmix step decorrelates adjacent stream indexes before
+        // the normal seeding expansion.
+        SimRng::seeded(splitmix64(&mut sm))
+    }
+
     /// The raw 64-bit generator step.
     fn next_u64(&mut self) -> u64 {
         let result = self.s[0]

@@ -1,0 +1,765 @@
+//! Deterministic sharded execution: conservative parallel DES.
+//!
+//! [`run_sharded`] partitions the simulation's actors across worker
+//! threads according to [`crate::sim::Sim::set_shard_map`] and runs
+//! them in **lock-step epochs** bounded by the network's global
+//! lookahead `L = Network::min_network_delay()`:
+//!
+//! 1. the coordinator computes the earliest pending event time `T`
+//!    across all shards and opens the window `[T, T + L)`;
+//! 2. every worker processes *its own* queue entries with `at < T + L`
+//!    in key order — any message it sends to a co-located actor lands
+//!    back in its own queue, while sends to remote actors are buffered;
+//! 3. at the epoch barrier the buffered cross-shard messages are
+//!    exchanged and the next window opens.
+//!
+//! Conservativeness: a network send submitted at `u ≥ T` arrives no
+//! earlier than `u + L ≥ T + L` (jitter, overload extras and the FIFO
+//! clamp only add delay), so no cross-shard message can land inside
+//! the window that produced it — each worker always has every entry
+//! of its window before the window opens.
+//!
+//! Determinism (byte-identity with serial mode) rests on four pieces:
+//!
+//! * **Key-order dispatch.** Serial pop order equals the total order on
+//!   `(time, src, seq, minor)` keys; each worker processes its entries
+//!   in that same key order, and entries of different shards commute
+//!   because they touch disjoint actors.
+//! * **Per-actor RNG streams.** Every actor draws from its own
+//!   [`SimRng`] stream (also used for the jitter of its outgoing
+//!   sends), so draw sequences do not depend on the interleave.
+//! * **Sender-owned channel state.** The FIFO clamp and traffic counts
+//!   of channel `(a, b)` are only ever advanced by `a`'s shard, in
+//!   `a`'s dispatch order — exactly the serial update sequence.
+//! * **Ambient order keys.** Writes to the shared sinks (trace, span
+//!   log, metrics registry) are tagged with the dispatch key through
+//!   `hcm_core::ordkey` and stably re-sorted into canonical serial
+//!   order when the run finishes.
+//!
+//! The one signal a worker cannot know locally is a *remote* actor's
+//! failure status at send time (overload extras are added at send
+//! time). Controls are only schedulable between runs, so each worker
+//! gets a pre-computed per-actor **status timeline** and looks up the
+//! status a serial run would have observed at its dispatch key.
+//!
+//! Documented divergences from serial mode (none observable in the
+//! trace/metrics/span artifacts of a normal run): [`Ctx::halt`] and
+//! the step budget act at epoch granularity, and a cross-shard
+//! `SendKind::Local` send with a delay below the lookahead panics —
+//! co-locate such actors on one shard instead.
+
+use crate::actor::{Actor, ActorId, Ctx};
+use crate::net::{ActorStatus, Network, SendKind};
+use crate::rng::SimRng;
+use crate::sim::{Control, Entry, RunOutcome, Scheduled, Sim};
+use hcm_core::{ordkey, OrderKey, SimTime};
+use hcm_obs::{Obs, Scope};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// One pre-scheduled failure-status transition of an actor: the
+/// control's `(time, external-seq)` key and the status it installs.
+type Transition = (SimTime, u64, ActorStatus);
+
+enum Cmd<M> {
+    /// Run the `on_start` hooks of the shard's actors.
+    Start,
+    /// Process all local entries with `at < window_end`.
+    Epoch {
+        window_end: SimTime,
+        incoming: Vec<Scheduled<M>>,
+    },
+    /// Tear down and return all owned state.
+    Finish,
+}
+
+struct Reply<M> {
+    outgoing: Vec<Scheduled<M>>,
+    next_at: Option<SimTime>,
+    steps: u64,
+    max_queue: i64,
+    max_dispatched: SimTime,
+    halted: bool,
+}
+
+struct Done<M> {
+    actors: Vec<(u32, Box<dyn Actor<M> + Send>)>,
+    rngs: Vec<(u32, SimRng)>,
+    seqs: Vec<(u32, u64)>,
+    net: Network,
+    held: Vec<(ActorId, ActorId, M)>,
+    remaining: Vec<Scheduled<M>>,
+}
+
+enum WMsg<M> {
+    Reply(Reply<M>),
+    Done(Box<Done<M>>),
+}
+
+struct Worker<M> {
+    shard: u32,
+    shard_of: Vec<u32>,
+    /// Full-length actor table; `Some` only for this shard's actors.
+    actors: Vec<Option<Box<dyn Actor<M> + Send>>>,
+    /// Full-length copies; authoritative only for this shard's actors.
+    rngs: Vec<SimRng>,
+    send_seqs: Vec<u64>,
+    /// Private network copy; authoritative for this shard's actors'
+    /// status and for channels whose *sender* lives on this shard.
+    net: Network,
+    /// Pre-computed status timelines (all actors, from the pre-run
+    /// control schedule), for remote-receiver status at send time.
+    timelines: Vec<Vec<Transition>>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    held: Vec<(ActorId, ActorId, M)>,
+    obs: Obs,
+    now: SimTime,
+    max_dispatched: SimTime,
+    halted: bool,
+}
+
+impl<M: Send> Worker<M> {
+    fn run(mut self, cmd_rx: Receiver<Cmd<M>>, rep_tx: Sender<WMsg<M>>) {
+        while let Ok(cmd) = cmd_rx.recv() {
+            match cmd {
+                Cmd::Start => {
+                    let rep = self.start_phase();
+                    let _ = rep_tx.send(WMsg::Reply(rep));
+                }
+                Cmd::Epoch {
+                    window_end,
+                    incoming,
+                } => {
+                    let rep = self.epoch(window_end, incoming);
+                    let _ = rep_tx.send(WMsg::Reply(rep));
+                }
+                Cmd::Finish => {
+                    let _ = rep_tx.send(WMsg::Done(Box::new(self.into_done())));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The status a serial run would observe for `to` when dispatching
+    /// the entry keyed `(d_at, d_src, d_seq, …)`: the latest
+    /// pre-scheduled control transition strictly before that key.
+    /// Controls sort as `(at, EXTERNAL, seq)`, and EXTERNAL is the
+    /// largest sender id, so a control at the same instant precedes the
+    /// dispatch only when the dispatch itself is external with a later
+    /// sequence number.
+    fn remote_status(&self, to: ActorId, d_at: SimTime, d_src: u32, d_seq: u64) -> ActorStatus {
+        let tl = &self.timelines[to.0 as usize];
+        let idx = tl.partition_point(|&(at, seq, _)| {
+            at < d_at || (at == d_at && d_src == ActorId::EXTERNAL.0 && seq < d_seq)
+        });
+        if idx == 0 {
+            // Baseline: the worker's copy of a remote actor's status is
+            // never mutated locally, so it still holds the run-start
+            // value.
+            self.net.status(to)
+        } else {
+            tl[idx - 1].2
+        }
+    }
+
+    /// Enqueue an actor's collected sends: delivery times from the
+    /// sender's RNG stream and channel state, local targets back into
+    /// the shard queue, remote targets into the epoch's outgoing
+    /// buffer. `dkey` is the dispatch key of the producing entry (for
+    /// timeline lookups); `min_cross` the current window end every
+    /// cross-shard arrival must clear.
+    fn flush(
+        &mut self,
+        from: ActorId,
+        dkey: (SimTime, u32, u64),
+        outbox: Vec<(ActorId, M, SendKind)>,
+        min_cross: SimTime,
+        outgoing: &mut Vec<Scheduled<M>>,
+    ) {
+        for (to, msg, kind) in outbox {
+            let local = self.shard_of[to.0 as usize] == self.shard;
+            let to_status = if local {
+                self.net.status(to)
+            } else {
+                self.remote_status(to, dkey.0, dkey.1, dkey.2)
+            };
+            let at = self.net.delivery_time_with_status(
+                self.now,
+                from,
+                to,
+                kind,
+                to_status,
+                &mut self.rngs[from.0 as usize],
+            );
+            // Canonical-order reconstruction requires that every send
+            // arrives strictly after the dispatch that produced it:
+            // only then is serial pop order identical to the total
+            // order on `(time, src, seq, minor)` keys.
+            assert!(
+                at > self.now,
+                "sharded mode requires positive send delays: {from} -> {to} at {at} \
+                 was submitted at {now}",
+                now = self.now
+            );
+            if matches!(kind, SendKind::Network) {
+                self.obs.metrics.observe(
+                    Scope::Channel {
+                        from: from.0,
+                        to: to.0,
+                    },
+                    "net.delivery_latency",
+                    at.saturating_since(self.now),
+                );
+            }
+            let seq = self.send_seqs[from.0 as usize];
+            self.send_seqs[from.0 as usize] += 1;
+            let sched = Scheduled {
+                at,
+                src: from.0,
+                seq,
+                minor: 0,
+                entry: Entry::Deliver { to, from, msg },
+            };
+            if local {
+                self.queue.push(Reverse(sched));
+            } else {
+                assert!(
+                    at >= min_cross,
+                    "cross-shard send {from} -> {to} would arrive at {at}, inside the \
+                     current epoch (window end {min_cross}); co-locate the actors on one \
+                     shard or use a delay of at least the network's minimum delay"
+                );
+                outgoing.push(sched);
+            }
+        }
+    }
+
+    fn start_phase(&mut self) -> Reply<M> {
+        let mut outgoing = Vec::new();
+        for i in 0..self.actors.len() {
+            if self.shard_of[i] != self.shard {
+                continue;
+            }
+            let id = ActorId(i as u32);
+            ordkey::install(OrderKey {
+                time: self.now.as_millis(),
+                phase: 0,
+                src: id.0,
+                seq: 0,
+                minor: 0,
+                sub: 0,
+            });
+            let mut outbox = Vec::new();
+            let mut halted = false;
+            {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    me: id,
+                    rng: &mut self.rngs[i],
+                    outbox: &mut outbox,
+                    halted: &mut halted,
+                };
+                self.actors[i]
+                    .as_mut()
+                    .expect("own actor present")
+                    .on_start(&mut ctx);
+            }
+            // Start-phase cross-shard sends are exchanged before the
+            // first epoch opens, so the window constraint is just
+            // "after now".
+            self.flush(id, (self.now, id.0, 0), outbox, self.now, &mut outgoing);
+            if halted {
+                self.halted = true;
+            }
+        }
+        ordkey::clear();
+        self.reply(outgoing, 0, 0)
+    }
+
+    fn epoch(&mut self, window_end: SimTime, incoming: Vec<Scheduled<M>>) -> Reply<M> {
+        for e in incoming {
+            self.queue.push(Reverse(e));
+        }
+        let mut outgoing = Vec::new();
+        let mut steps = 0u64;
+        let mut max_queue = self.queue.len() as i64;
+        while !self.halted {
+            match self.queue.peek() {
+                Some(Reverse(head)) if head.at < window_end => {}
+                _ => break,
+            }
+            max_queue = max_queue.max(self.queue.len() as i64);
+            let Reverse(sched) = self.queue.pop().expect("peeked");
+            self.now = sched.at;
+            self.max_dispatched = self.max_dispatched.max(sched.at);
+            ordkey::install(OrderKey {
+                time: sched.at.as_millis(),
+                phase: 1,
+                src: sched.src,
+                seq: sched.seq,
+                minor: sched.minor,
+                sub: 0,
+            });
+            let dkey = (sched.at, sched.src, sched.seq);
+            match sched.entry {
+                Entry::Control(c) => {
+                    self.apply_control(c, sched.seq, window_end, &mut outgoing);
+                }
+                Entry::Deliver { to, from, msg } => {
+                    steps += 1;
+                    self.obs.metrics.inc(Scope::Global, "sim.dispatches");
+                    self.obs.metrics.inc(Scope::Actor(to.0), "sim.dispatches");
+                    match self.net.status(to) {
+                        ActorStatus::Crashed { lossy: true } => {
+                            self.net.count_drop();
+                            self.obs
+                                .metrics
+                                .inc(Scope::Actor(to.0), "sim.dropped_while_crashed");
+                        }
+                        ActorStatus::Crashed { lossy: false } => {
+                            self.held.push((to, from, msg));
+                            self.obs
+                                .metrics
+                                .inc(Scope::Actor(to.0), "sim.held_while_crashed");
+                        }
+                        _ => {
+                            let mut outbox = Vec::new();
+                            let mut halted = false;
+                            {
+                                let mut ctx = Ctx {
+                                    now: self.now,
+                                    me: to,
+                                    rng: &mut self.rngs[to.0 as usize],
+                                    outbox: &mut outbox,
+                                    halted: &mut halted,
+                                };
+                                self.actors[to.0 as usize]
+                                    .as_mut()
+                                    .expect("delivery routed to owning shard")
+                                    .on_message(msg, &mut ctx);
+                            }
+                            self.flush(to, dkey, outbox, window_end, &mut outgoing);
+                            if halted {
+                                self.halted = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ordkey::clear();
+        self.reply(outgoing, steps, max_queue)
+    }
+
+    /// Mirror of the serial control application, operating on the
+    /// worker's private state (controls are always routed to the shard
+    /// owning the actor they manipulate).
+    fn apply_control(
+        &mut self,
+        c: Control,
+        ctl_seq: u64,
+        window_end: SimTime,
+        outgoing: &mut Vec<Scheduled<M>>,
+    ) {
+        match c {
+            Control::Crash { who, lossy } => {
+                self.net.set_status(who, ActorStatus::Crashed { lossy });
+                self.obs.metrics.record(
+                    self.now,
+                    Scope::Actor(who.0),
+                    "sim.crash",
+                    [("lossy", lossy.to_string())],
+                );
+                let mut discard = Vec::new();
+                let mut halted = false;
+                let mut ctx = Ctx {
+                    now: self.now,
+                    me: who,
+                    rng: &mut self.rngs[who.0 as usize],
+                    outbox: &mut discard,
+                    halted: &mut halted,
+                };
+                self.actors[who.0 as usize]
+                    .as_mut()
+                    .expect("control routed to owning shard")
+                    .on_crash(lossy, &mut ctx);
+            }
+            Control::Recover { who } => {
+                self.net.set_status(who, ActorStatus::Up);
+                self.obs.metrics.record(
+                    self.now,
+                    Scope::Actor(who.0),
+                    "sim.recover",
+                    std::iter::empty::<(&str, String)>(),
+                );
+                let mut outbox = Vec::new();
+                let mut halted = false;
+                {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        me: who,
+                        rng: &mut self.rngs[who.0 as usize],
+                        outbox: &mut outbox,
+                        halted: &mut halted,
+                    };
+                    self.actors[who.0 as usize]
+                        .as_mut()
+                        .expect("control routed to owning shard")
+                        .on_recover(&mut ctx);
+                }
+                self.flush(
+                    who,
+                    (self.now, ActorId::EXTERNAL.0, ctl_seq),
+                    outbox,
+                    window_end,
+                    outgoing,
+                );
+                let (replay, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.held)
+                    .into_iter()
+                    .partition(|(to, ..)| *to == who);
+                self.held = keep;
+                for (k, (to, from, msg)) in replay.into_iter().enumerate() {
+                    self.queue.push(Reverse(Scheduled {
+                        at: self.now,
+                        src: ActorId::EXTERNAL.0,
+                        seq: ctl_seq,
+                        minor: k as u32 + 1,
+                        entry: Entry::Deliver { to, from, msg },
+                    }));
+                }
+            }
+            Control::Overload { who, extra } => {
+                self.net.set_status(who, ActorStatus::Overloaded { extra });
+                self.obs.metrics.record(
+                    self.now,
+                    Scope::Actor(who.0),
+                    "sim.overload",
+                    [("extra_ms", extra.as_millis().to_string())],
+                );
+            }
+            Control::EndOverload { who } => {
+                self.net.set_status(who, ActorStatus::Up);
+                self.obs.metrics.record(
+                    self.now,
+                    Scope::Actor(who.0),
+                    "sim.end_overload",
+                    std::iter::empty::<(&str, String)>(),
+                );
+            }
+        }
+    }
+
+    fn reply(&mut self, outgoing: Vec<Scheduled<M>>, steps: u64, max_queue: i64) -> Reply<M> {
+        Reply {
+            outgoing,
+            next_at: self.queue.peek().map(|Reverse(s)| s.at),
+            steps,
+            max_queue,
+            max_dispatched: self.max_dispatched,
+            halted: self.halted,
+        }
+    }
+
+    fn into_done(self) -> Done<M> {
+        let shard = self.shard;
+        let shard_of = self.shard_of;
+        let own = |i: &usize| shard_of[*i] == shard;
+        Done {
+            actors: self
+                .actors
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, a)| a.map(|a| (i as u32, a)))
+                .collect(),
+            rngs: self
+                .rngs
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| own(i))
+                .map(|(i, r)| (i as u32, r))
+                .collect(),
+            seqs: self
+                .send_seqs
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| own(i))
+                .map(|(i, s)| (i as u32, s))
+                .collect(),
+            net: self.net,
+            held: self.held,
+            remaining: self.queue.into_iter().map(|Reverse(s)| s).collect(),
+        }
+    }
+}
+
+/// Execute `sim` on one worker thread per shard. See the module docs
+/// for the epoch protocol and the determinism argument.
+pub(crate) fn run_sharded<M: Send>(sim: &mut Sim<M>, horizon: Option<SimTime>) -> RunOutcome {
+    let lookahead = sim.net.min_network_delay();
+    let n = sim.shard_count() as usize;
+    let actor_count = sim.actors.len();
+    let shard_of = sim.shard_of.clone();
+    let baseline_dropped = sim.net.total_dropped();
+
+    // Drain the pre-scheduled queue, derive the status timelines from
+    // its controls, and route every entry to its target's shard.
+    let mut entries: Vec<Scheduled<M>> = std::mem::take(&mut sim.queue)
+        .into_iter()
+        .map(|Reverse(s)| s)
+        .collect();
+    entries.sort_by_key(Scheduled::key);
+    let mut timelines: Vec<Vec<Transition>> = vec![Vec::new(); actor_count];
+    for e in &entries {
+        if let Entry::Control(c) = &e.entry {
+            let (who, status) = match c {
+                Control::Crash { who, lossy } => (*who, ActorStatus::Crashed { lossy: *lossy }),
+                Control::Recover { who } => (*who, ActorStatus::Up),
+                Control::Overload { who, extra } => {
+                    (*who, ActorStatus::Overloaded { extra: *extra })
+                }
+                Control::EndOverload { who } => (*who, ActorStatus::Up),
+            };
+            timelines[who.0 as usize].push((e.at, e.seq, status));
+        }
+    }
+    let mut initial: Vec<Vec<Scheduled<M>>> = (0..n).map(|_| Vec::new()).collect();
+    for e in entries {
+        initial[shard_of[e.entry.target().0 as usize] as usize].push(e);
+    }
+    let mut held_parts: Vec<Vec<(ActorId, ActorId, M)>> = (0..n).map(|_| Vec::new()).collect();
+    for h in std::mem::take(&mut sim.held) {
+        held_parts[shard_of[h.0 .0 as usize] as usize].push(h);
+    }
+    let mut actors_in: Vec<Option<Box<dyn Actor<M> + Send>>> = std::mem::take(&mut sim.actors)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let need_start = !sim.take_started();
+    let now0 = sim.now;
+
+    // Coordinator bookkeeping (mutably borrowed by the scope below).
+    let mut next_ats: Vec<Option<SimTime>> = initial
+        .iter()
+        .map(|v| v.iter().map(|e| e.at).min())
+        .collect();
+    let mut pending_in: Vec<Vec<Scheduled<M>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut epochs = 0u64;
+    let mut cross_msgs = 0u64;
+    let mut shard_steps = vec![0u64; n];
+    let mut shard_qmax = vec![0i64; n];
+    let mut steps_total = sim.steps;
+    let max_steps = sim.max_steps;
+    let mut max_dispatched = now0;
+
+    let (outcome, dones) = std::thread::scope(|scope| {
+        let mut cmd_txs: Vec<Sender<Cmd<M>>> = Vec::with_capacity(n);
+        let mut rep_rxs: Vec<Receiver<WMsg<M>>> = Vec::with_capacity(n);
+        for w in 0..n {
+            let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<Cmd<M>>();
+            let (rep_tx, rep_rx) = std::sync::mpsc::channel::<WMsg<M>>();
+            let mut queue = BinaryHeap::new();
+            for e in std::mem::take(&mut initial[w]) {
+                queue.push(Reverse(e));
+            }
+            let worker = Worker {
+                shard: w as u32,
+                shard_of: shard_of.clone(),
+                actors: (0..actor_count)
+                    .map(|i| {
+                        if shard_of[i] == w as u32 {
+                            actors_in[i].take()
+                        } else {
+                            None
+                        }
+                    })
+                    .collect(),
+                rngs: sim.rngs.clone(),
+                send_seqs: sim.send_seqs.clone(),
+                net: sim.net.clone(),
+                timelines: timelines.clone(),
+                queue,
+                held: std::mem::take(&mut held_parts[w]),
+                obs: sim.obs.clone(),
+                now: now0,
+                max_dispatched: now0,
+                halted: false,
+            };
+            scope.spawn(move || worker.run(cmd_rx, rep_tx));
+            cmd_txs.push(cmd_tx);
+            rep_rxs.push(rep_rx);
+        }
+
+        let recv_reply = |rx: &Receiver<WMsg<M>>| -> Reply<M> {
+            match rx.recv().expect("worker alive") {
+                WMsg::Reply(r) => r,
+                WMsg::Done(_) => unreachable!("Done before Finish"),
+            }
+        };
+
+        let mut halted = false;
+        // Absorb one round of worker replies into the coordinator state.
+        macro_rules! absorb {
+            ($count_steps:expr) => {
+                for (w, rx) in rep_rxs.iter().enumerate() {
+                    let rep = recv_reply(rx);
+                    next_ats[w] = rep.next_at;
+                    if $count_steps {
+                        steps_total += rep.steps;
+                        shard_steps[w] += rep.steps;
+                    }
+                    shard_qmax[w] = shard_qmax[w].max(rep.max_queue);
+                    max_dispatched = max_dispatched.max(rep.max_dispatched);
+                    halted |= rep.halted;
+                    for out in rep.outgoing {
+                        cross_msgs += 1;
+                        let tgt = shard_of[out.entry.target().0 as usize] as usize;
+                        pending_in[tgt].push(out);
+                    }
+                }
+            };
+        }
+
+        if need_start {
+            for tx in &cmd_txs {
+                tx.send(Cmd::Start).expect("worker alive");
+            }
+            absorb!(false);
+        }
+
+        let outcome = loop {
+            if halted {
+                break RunOutcome::Halted;
+            }
+            // Earliest pending event across all shards (worker queues
+            // plus cross-shard messages awaiting routing).
+            let mut t: Option<SimTime> = None;
+            for w in 0..n {
+                let local = next_ats[w]
+                    .into_iter()
+                    .chain(pending_in[w].iter().map(|e| e.at))
+                    .min();
+                t = match (t, local) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let Some(t) = t else {
+                break RunOutcome::Quiescent;
+            };
+            if let Some(h) = horizon {
+                if t > h {
+                    break RunOutcome::HorizonReached;
+                }
+            }
+            if steps_total >= max_steps {
+                break RunOutcome::StepBudget;
+            }
+            let mut w_end = t + lookahead;
+            if let Some(h) = horizon {
+                // Events exactly at the horizon still run; the window
+                // never needs to extend past it.
+                w_end = w_end.min(SimTime::from_millis(h.as_millis() + 1));
+            }
+            epochs += 1;
+            for (w, tx) in cmd_txs.iter().enumerate() {
+                tx.send(Cmd::Epoch {
+                    window_end: w_end,
+                    incoming: std::mem::take(&mut pending_in[w]),
+                })
+                .expect("worker alive");
+            }
+            absorb!(true);
+        };
+
+        for tx in &cmd_txs {
+            tx.send(Cmd::Finish).expect("worker alive");
+        }
+        let dones: Vec<Done<M>> = rep_rxs
+            .iter()
+            .map(|rx| match rx.recv().expect("worker alive") {
+                WMsg::Done(d) => *d,
+                WMsg::Reply(_) => unreachable!("Reply after Finish"),
+            })
+            .collect();
+        (outcome, dones)
+    });
+
+    // Reassemble the simulation from the workers' returned state.
+    let mut actors_back: Vec<Option<Box<dyn Actor<M> + Send>>> =
+        (0..actor_count).map(|_| None).collect();
+    for (w, d) in dones.into_iter().enumerate() {
+        let w = w as u32;
+        for (i, a) in d.actors {
+            actors_back[i as usize] = Some(a);
+        }
+        for (i, r) in d.rngs {
+            sim.rngs[i as usize] = r;
+        }
+        for (i, s) in d.seqs {
+            sim.send_seqs[i as usize] = s;
+        }
+        // Network merge: each worker is authoritative for its own
+        // actors' status and for channels whose sender it owns; drops
+        // are counted where the (crashed) receiver lives.
+        for (a, st) in &d.net.status {
+            if (a.0 as usize) < actor_count && shard_of[a.0 as usize] == w {
+                sim.net.set_status(*a, *st);
+            }
+        }
+        for (&(f, t), &at) in &d.net.last_delivery {
+            if (f.0 as usize) < actor_count && shard_of[f.0 as usize] == w {
+                sim.net.last_delivery.insert((f, t), at);
+            }
+        }
+        for (&(f, t), &c) in &d.net.sent {
+            if (f.0 as usize) < actor_count && shard_of[f.0 as usize] == w {
+                sim.net.sent.insert((f, t), c);
+            }
+        }
+        sim.net.dropped += d.net.dropped - baseline_dropped;
+        sim.held.extend(d.held);
+        for e in d.remaining {
+            sim.queue.push(Reverse(e));
+        }
+    }
+    sim.actors = actors_back
+        .into_iter()
+        .map(|a| a.expect("every actor returned by its shard"))
+        .collect();
+    for v in pending_in {
+        for e in v {
+            sim.queue.push(Reverse(e));
+        }
+    }
+    sim.steps = steps_total;
+    sim.now = match (outcome, horizon) {
+        (RunOutcome::HorizonReached, Some(h)) => h,
+        _ => max_dispatched,
+    };
+
+    // Engine-side execution metrics (kept out of the observability
+    // snapshot, which must be identical across execution modes).
+    sim.engine.add(Scope::Global, "sim.epochs", epochs);
+    sim.engine
+        .add(Scope::Global, "sim.cross_shard_msgs", cross_msgs);
+    let total_run: u64 = shard_steps.iter().sum();
+    for w in 0..n {
+        sim.engine.add(
+            Scope::Actor(w as u32),
+            "sim.shard_dispatches",
+            shard_steps[w],
+        );
+        sim.engine
+            .gauge_track_max(Scope::Actor(w as u32), "sim.queue_depth_max", shard_qmax[w]);
+        let pct = (shard_steps[w] * 100)
+            .checked_div(total_run)
+            .unwrap_or_default() as i64;
+        sim.engine
+            .gauge_set(Scope::Actor(w as u32), "sim.shard_utilization_pct", pct);
+    }
+
+    sim.finish_sharded_run();
+    outcome
+}

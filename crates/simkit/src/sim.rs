@@ -1,10 +1,20 @@
 //! The simulation driver.
 //!
 //! [`Sim`] owns the actors, the clock, the message queue, the network
-//! model and the RNG, and runs the classic discrete-event loop: pop the
-//! earliest entry, advance the clock, dispatch. Determinism comes from
-//! the total order on `(time, sequence-number)` — ties are broken by
-//! submission order.
+//! model and the RNG streams, and runs the classic discrete-event loop:
+//! pop the earliest entry, advance the clock, dispatch. Determinism
+//! comes from the total order on `(time, sender, sender-sequence,
+//! minor)` — ties at one instant are broken by sender id, then by the
+//! order that sender submitted its messages. External injections and
+//! controls share the distinguished [`ActorId::EXTERNAL`] sender and
+//! one submission counter, so they sort after actor traffic at the
+//! same instant, in schedule order.
+//!
+//! That key is the backbone of the **sharded execution mode**
+//! ([`Sim::set_shard_map`]): serial pop order equals key order, so
+//! per-shard executors can process disjoint key-ordered streams in
+//! parallel and every shared sink can reconstruct the exact serial
+//! order from the keys (see `hcm_core::ordkey` and [`crate::shard`]).
 //!
 //! Failure injection is scheduled through the same queue
 //! ([`Sim::crash_at`], [`Sim::recover_at`], [`Sim::overload_between`])
@@ -15,31 +25,60 @@ use crate::actor::{Actor, ActorId, Ctx};
 use crate::net::{ActorStatus, DelayModel, Network, SendKind};
 use crate::rng::SimRng;
 use hcm_core::{SimDuration, SimTime};
-use hcm_obs::{Obs, Scope};
+use hcm_obs::{Metrics, Obs, Scope};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-enum Entry<M> {
+pub(crate) enum Entry<M> {
     Deliver { to: ActorId, from: ActorId, msg: M },
     Control(Control),
 }
 
-enum Control {
+impl<M> Entry<M> {
+    /// The actor this entry is processed at (deliveries at the
+    /// receiver, controls at the actor they manipulate) — the shard
+    /// routing key.
+    pub(crate) fn target(&self) -> ActorId {
+        match self {
+            Entry::Deliver { to, .. } => *to,
+            Entry::Control(c) => match c {
+                Control::Crash { who, .. }
+                | Control::Recover { who }
+                | Control::Overload { who, .. }
+                | Control::EndOverload { who } => *who,
+            },
+        }
+    }
+}
+
+pub(crate) enum Control {
     Crash { who: ActorId, lossy: bool },
     Recover { who: ActorId },
     Overload { who: ActorId, extra: SimDuration },
     EndOverload { who: ActorId },
 }
 
-struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
-    entry: Entry<M>,
+pub(crate) struct Scheduled<M> {
+    pub(crate) at: SimTime,
+    /// Sending actor (`ActorId::EXTERNAL.0` for injections/controls).
+    pub(crate) src: u32,
+    /// The sender's submission sequence number.
+    pub(crate) seq: u64,
+    /// Tie-breaker for entries materialized *by* a dispatch (held
+    /// messages replayed by a recovery control); 0 for normal sends.
+    pub(crate) minor: u32,
+    pub(crate) entry: Entry<M>,
+}
+
+impl<M> Scheduled<M> {
+    pub(crate) fn key(&self) -> (SimTime, u32, u64, u32) {
+        (self.at, self.src, self.seq, self.minor)
+    }
 }
 
 impl<M> PartialEq for Scheduled<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<M> Eq for Scheduled<M> {}
@@ -50,7 +89,7 @@ impl<M> PartialOrd for Scheduled<M> {
 }
 impl<M> Ord for Scheduled<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key().cmp(&other.key())
     }
 }
 
@@ -71,19 +110,35 @@ pub enum RunOutcome {
 
 /// A deterministic discrete-event simulation over message type `M`.
 pub struct Sim<M> {
-    actors: Vec<Box<dyn Actor<M>>>,
-    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    pub(crate) actors: Vec<Box<dyn Actor<M> + Send>>,
+    pub(crate) queue: BinaryHeap<Reverse<Scheduled<M>>>,
     /// Messages held for crashed (non-lossy) actors, replayed on
-    /// recovery in arrival order.
-    held: Vec<(ActorId, ActorId, M, u64)>,
-    now: SimTime,
-    seq: u64,
-    rng: SimRng,
-    net: Network,
-    obs: Obs,
+    /// recovery in arrival order: `(to, from, msg)`.
+    pub(crate) held: Vec<(ActorId, ActorId, M)>,
+    pub(crate) now: SimTime,
+    /// Submission counter for external entries (injections, controls).
+    ext_seq: u64,
+    /// Per-actor deterministic RNG streams, derived from the master
+    /// seed and the actor id — identical in serial and sharded mode.
+    pub(crate) rngs: Vec<SimRng>,
+    /// Per-actor submission counters (the `seq` half of the order key).
+    pub(crate) send_seqs: Vec<u64>,
+    seed: u64,
+    pub(crate) net: Network,
+    pub(crate) obs: Obs,
+    /// Engine-internal metrics (queue depths, epochs, shard traffic):
+    /// execution-strategy-dependent by nature, so they live outside the
+    /// snapshot registry that must stay byte-identical across modes.
+    pub(crate) engine: Metrics,
     started: bool,
-    steps: u64,
-    max_steps: u64,
+    pub(crate) steps: u64,
+    pub(crate) max_steps: u64,
+    /// Shard assignment per actor; all zeros (single shard) by default.
+    pub(crate) shard_of: Vec<u32>,
+    n_shards: u32,
+    /// Callbacks run after a sharded run so external order-tagged sinks
+    /// (the toolkit trace) can restore canonical order.
+    order_sinks: Vec<Box<dyn Fn()>>,
 }
 
 impl<M> Sim<M> {
@@ -101,27 +156,83 @@ impl<M> Sim<M> {
             queue: BinaryHeap::with_capacity(1024),
             held: Vec::new(),
             now: SimTime::ZERO,
-            seq: 0,
-            rng: SimRng::seeded(seed),
+            ext_seq: 0,
+            rngs: Vec::new(),
+            send_seqs: Vec::new(),
+            seed,
             net,
             obs: Obs::new(),
+            engine: Metrics::new(),
             started: false,
             steps: 0,
             max_steps: u64::MAX,
+            shard_of: Vec::new(),
+            n_shards: 1,
+            order_sinks: Vec::new(),
         }
     }
 
     /// Cap the number of deliveries (protection against accidental
-    /// infinite loops in scenario code).
+    /// infinite loops in scenario code). In sharded mode the budget is
+    /// enforced at epoch granularity.
     pub fn set_step_budget(&mut self, max_steps: u64) {
         self.max_steps = max_steps;
     }
 
-    /// Register an actor, returning its id.
-    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+    /// Register an actor, returning its id. The actor gets its own
+    /// RNG stream derived from the simulation seed and this id.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M> + Send>) -> ActorId {
         let id = ActorId(self.actors.len() as u32);
         self.actors.push(actor);
+        self.rngs.push(SimRng::derived(self.seed, u64::from(id.0)));
+        self.send_seqs.push(0);
+        self.shard_of.push(0);
         id
+    }
+
+    /// Assign every actor to a shard for parallel execution. `map[i]`
+    /// is actor `i`'s shard; shard ids must be dense from 0. With more
+    /// than one distinct shard (and a network with nonzero minimum
+    /// delay), [`Sim::run`] executes shards on worker threads in
+    /// conservative lock-step epochs; observable results are identical
+    /// to serial mode. Pass all-zeros (or never call this) for serial.
+    ///
+    /// # Panics
+    /// Panics if `map.len()` differs from the number of actors.
+    pub fn set_shard_map(&mut self, map: Vec<u32>) {
+        assert_eq!(
+            map.len(),
+            self.actors.len(),
+            "shard map must cover every actor"
+        );
+        self.n_shards = map.iter().copied().max().map_or(1, |m| m + 1);
+        self.shard_of = map;
+    }
+
+    /// The current shard assignment (one entry per actor).
+    #[must_use]
+    pub fn shard_map(&self) -> &[u32] {
+        &self.shard_of
+    }
+
+    /// Assign one actor to a shard (actors added after
+    /// [`Sim::set_shard_map`] default to shard 0).
+    pub fn assign_shard(&mut self, id: ActorId, shard: u32) {
+        self.shard_of[id.0 as usize] = shard;
+        self.n_shards = self.n_shards.max(shard + 1);
+    }
+
+    /// Number of shards the current assignment uses (1 = serial).
+    #[must_use]
+    pub fn shard_count(&self) -> u32 {
+        self.n_shards
+    }
+
+    /// Register a callback run after each sharded run completes, so
+    /// order-tagged sinks outside the simulation (the toolkit's trace)
+    /// can restore canonical order. Serial runs never invoke these.
+    pub fn add_order_sink(&mut self, sink: Box<dyn Fn()>) {
+        self.order_sinks.push(sink);
     }
 
     /// Number of registered actors.
@@ -154,6 +265,15 @@ impl<M> Sim<M> {
         self.obs.clone()
     }
 
+    /// The engine-internal metrics registry: queue depths, epoch and
+    /// cross-shard-traffic counters, per-shard utilization. Kept apart
+    /// from [`Sim::obs`] because these depend on the execution strategy
+    /// (serial vs sharded) while the observability snapshot must not.
+    #[must_use]
+    pub fn engine_metrics(&self) -> Metrics {
+        self.engine.clone()
+    }
+
     /// Direct access to a registered actor (used by scenario drivers to
     /// inspect component state between runs; not available during a
     /// delivery).
@@ -171,10 +291,12 @@ impl<M> Sim<M> {
     /// harnesses) for delivery to `to` at absolute time `at`. The
     /// sender is recorded as [`ActorId::EXTERNAL`], not the recipient.
     pub fn inject_at(&mut self, at: SimTime, to: ActorId, msg: M) {
-        let seq = self.bump_seq();
+        let seq = self.bump_ext_seq();
         self.queue.push(Reverse(Scheduled {
             at,
+            src: ActorId::EXTERNAL.0,
             seq,
+            minor: 0,
             entry: Entry::Deliver {
                 to,
                 from: ActorId::EXTERNAL,
@@ -201,20 +323,24 @@ impl<M> Sim<M> {
     /// at recovery — the paper's "crashes can be mapped to metric
     /// failures if the database … can remember messages" (§5).
     pub fn crash_at(&mut self, who: ActorId, at: SimTime, lossy: bool) {
-        let seq = self.bump_seq();
+        let seq = self.bump_ext_seq();
         self.queue.push(Reverse(Scheduled {
             at,
+            src: ActorId::EXTERNAL.0,
             seq,
+            minor: 0,
             entry: Entry::Control(Control::Crash { who, lossy }),
         }));
     }
 
     /// Schedule a recovery.
     pub fn recover_at(&mut self, who: ActorId, at: SimTime) {
-        let seq = self.bump_seq();
+        let seq = self.bump_ext_seq();
         self.queue.push(Reverse(Scheduled {
             at,
+            src: ActorId::EXTERNAL.0,
             seq,
+            minor: 0,
             entry: Entry::Control(Control::Recover { who }),
         }));
     }
@@ -228,31 +354,35 @@ impl<M> Sim<M> {
         to: SimTime,
         extra: SimDuration,
     ) {
-        let seq = self.bump_seq();
+        let seq = self.bump_ext_seq();
         self.queue.push(Reverse(Scheduled {
             at: from,
+            src: ActorId::EXTERNAL.0,
             seq,
+            minor: 0,
             entry: Entry::Control(Control::Overload { who, extra }),
         }));
-        let seq = self.bump_seq();
+        let seq = self.bump_ext_seq();
         self.queue.push(Reverse(Scheduled {
             at: to,
+            src: ActorId::EXTERNAL.0,
             seq,
+            minor: 0,
             entry: Entry::Control(Control::EndOverload { who }),
         }));
     }
 
-    fn bump_seq(&mut self) -> u64 {
-        let s = self.seq;
-        self.seq += 1;
+    fn bump_ext_seq(&mut self) -> u64 {
+        let s = self.ext_seq;
+        self.ext_seq += 1;
         s
     }
 
     fn flush_outbox(&mut self, from: ActorId, outbox: Vec<(ActorId, M, SendKind)>) {
         for (to, msg, kind) in outbox {
-            let at = self
-                .net
-                .delivery_time(self.now, from, to, kind, &mut self.rng);
+            let at =
+                self.net
+                    .delivery_time(self.now, from, to, kind, &mut self.rngs[from.0 as usize]);
             if matches!(kind, SendKind::Network) {
                 self.obs.metrics.observe(
                     Scope::Channel {
@@ -263,16 +393,19 @@ impl<M> Sim<M> {
                     at.saturating_since(self.now),
                 );
             }
-            let seq = self.bump_seq();
+            let seq = self.send_seqs[from.0 as usize];
+            self.send_seqs[from.0 as usize] += 1;
             self.queue.push(Reverse(Scheduled {
                 at,
+                src: from.0,
                 seq,
+                minor: 0,
                 entry: Entry::Deliver { to, from, msg },
             }));
         }
     }
 
-    fn start_if_needed(&mut self) {
+    pub(crate) fn start_if_needed(&mut self) {
         if self.started {
             return;
         }
@@ -285,7 +418,7 @@ impl<M> Sim<M> {
                 let mut ctx = Ctx {
                     now: self.now,
                     me: id,
-                    rng: &mut self.rng,
+                    rng: &mut self.rngs[i],
                     outbox: &mut outbox,
                     halted: &mut halted,
                 };
@@ -295,10 +428,34 @@ impl<M> Sim<M> {
         }
     }
 
+    pub(crate) fn take_started(&mut self) -> bool {
+        let was = self.started;
+        self.started = true;
+        was
+    }
+
     /// Run until the queue drains, an actor halts, the step budget is
     /// exhausted, or (if given) the horizon is passed. Events scheduled
     /// *at* the horizon still run; the clock never exceeds it.
-    pub fn run(&mut self, horizon: Option<SimTime>) -> RunOutcome {
+    ///
+    /// With a multi-shard assignment ([`Sim::set_shard_map`]) and a
+    /// network whose minimum delay is positive, the run executes on
+    /// one worker thread per shard in conservative lock-step epochs;
+    /// all observable results (trace, metrics snapshot, span log,
+    /// actor state) are byte-identical to the serial execution. Halt
+    /// and the step budget then act at epoch granularity.
+    pub fn run(&mut self, horizon: Option<SimTime>) -> RunOutcome
+    where
+        M: Send,
+    {
+        if self.n_shards > 1 && self.net.min_network_delay() > SimDuration::ZERO {
+            crate::shard::run_sharded(self, horizon)
+        } else {
+            self.run_serial(horizon)
+        }
+    }
+
+    fn run_serial(&mut self, horizon: Option<SimTime>) -> RunOutcome {
         self.start_if_needed();
         loop {
             let Some(Reverse(head)) = self.queue.peek() else {
@@ -313,7 +470,7 @@ impl<M> Sim<M> {
             if self.steps >= self.max_steps {
                 return RunOutcome::StepBudget;
             }
-            self.obs.metrics.gauge_track_max(
+            self.engine.gauge_track_max(
                 Scope::Global,
                 "sim.queue_depth_max",
                 self.queue.len() as i64,
@@ -321,7 +478,7 @@ impl<M> Sim<M> {
             let Reverse(sched) = self.queue.pop().expect("peeked");
             self.now = sched.at;
             match sched.entry {
-                Entry::Control(c) => self.apply_control(c),
+                Entry::Control(c) => self.apply_control(c, sched.seq),
                 Entry::Deliver { to, from, msg } => {
                     self.steps += 1;
                     self.obs.metrics.inc(Scope::Global, "sim.dispatches");
@@ -334,8 +491,7 @@ impl<M> Sim<M> {
                                 .inc(Scope::Actor(to.0), "sim.dropped_while_crashed");
                         }
                         ActorStatus::Crashed { lossy: false } => {
-                            let seq = self.bump_seq();
-                            self.held.push((to, from, msg, seq));
+                            self.held.push((to, from, msg));
                             self.obs
                                 .metrics
                                 .inc(Scope::Actor(to.0), "sim.held_while_crashed");
@@ -347,7 +503,7 @@ impl<M> Sim<M> {
                                 let mut ctx = Ctx {
                                     now: self.now,
                                     me: to,
-                                    rng: &mut self.rng,
+                                    rng: &mut self.rngs[to.0 as usize],
                                     outbox: &mut outbox,
                                     halted: &mut halted,
                                 };
@@ -365,11 +521,21 @@ impl<M> Sim<M> {
     }
 
     /// Run to quiescence with no horizon.
-    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+    pub fn run_to_quiescence(&mut self) -> RunOutcome
+    where
+        M: Send,
+    {
         self.run(None)
     }
 
-    fn apply_control(&mut self, c: Control) {
+    pub(crate) fn finish_sharded_run(&mut self) {
+        self.obs.finalize_order();
+        for sink in &self.order_sinks {
+            sink();
+        }
+    }
+
+    fn apply_control(&mut self, c: Control, ctl_seq: u64) {
         match c {
             Control::Crash { who, lossy } => {
                 self.net.set_status(who, ActorStatus::Crashed { lossy });
@@ -387,7 +553,7 @@ impl<M> Sim<M> {
                 let mut ctx = Ctx {
                     now: self.now,
                     me: who,
-                    rng: &mut self.rng,
+                    rng: &mut self.rngs[who.0 as usize],
                     outbox: &mut discard,
                     halted: &mut halted,
                 };
@@ -410,7 +576,7 @@ impl<M> Sim<M> {
                     let mut ctx = Ctx {
                         now: self.now,
                         me: who,
-                        rng: &mut self.rng,
+                        rng: &mut self.rngs[who.0 as usize],
                         outbox: &mut outbox,
                         halted: &mut halted,
                     };
@@ -418,17 +584,20 @@ impl<M> Sim<M> {
                 }
                 self.flush_outbox(who, outbox);
                 // Replay messages held during the outage, at recovery
-                // time, preserving their original arrival order (the
-                // held `seq` predates any new sends, so they sort first
-                // among same-time entries).
+                // time, preserving their original arrival order. The
+                // replayed entries take this control's key with a
+                // nonzero `minor`, so they sort directly after the
+                // recovery hook's processing in canonical order.
                 let (replay, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.held)
                     .into_iter()
                     .partition(|(to, ..)| *to == who);
                 self.held = keep;
-                for (to, from, msg, seq) in replay {
+                for (k, (to, from, msg)) in replay.into_iter().enumerate() {
                     self.queue.push(Reverse(Scheduled {
                         at: self.now,
-                        seq,
+                        src: ActorId::EXTERNAL.0,
+                        seq: ctl_seq,
+                        minor: k as u32 + 1,
                         entry: Entry::Deliver { to, from, msg },
                     }));
                 }
@@ -458,8 +627,7 @@ impl<M> Sim<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use hcm_core::Shared;
 
     #[derive(Clone, Debug, PartialEq)]
     enum Msg {
@@ -472,7 +640,7 @@ mod tests {
     /// Ping by sending Ping(n-1) back until n == 0.
     struct Echo {
         peer: Option<ActorId>,
-        log: Rc<RefCell<Vec<(SimTime, Msg)>>>,
+        log: Shared<Vec<(SimTime, Msg)>>,
         ticks: u32,
     }
 
@@ -506,7 +674,7 @@ mod tests {
 
     #[test]
     fn ping_pong_runs_to_quiescence() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         let mut sim = fixed_sim(100);
         let a = sim.add_actor(Box::new(Echo {
             peer: None,
@@ -532,7 +700,7 @@ mod tests {
 
     #[test]
     fn timers_and_horizon() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         let mut sim = fixed_sim(10);
         let a = sim.add_actor(Box::new(Echo {
             peer: None,
@@ -553,7 +721,7 @@ mod tests {
 
     #[test]
     fn halt_stops_immediately() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         let mut sim = fixed_sim(10);
         let a = sim.add_actor(Box::new(Echo {
             peer: None,
@@ -568,7 +736,7 @@ mod tests {
 
     #[test]
     fn crash_holds_messages_until_recovery() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         let mut sim = fixed_sim(0);
         let a = sim.add_actor(Box::new(Echo {
             peer: None,
@@ -588,7 +756,7 @@ mod tests {
 
     #[test]
     fn lossy_crash_drops_messages() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         let mut sim = fixed_sim(0);
         let a = sim.add_actor(Box::new(Echo {
             peer: None,
@@ -606,7 +774,7 @@ mod tests {
 
     #[test]
     fn overload_window_delays_deliveries() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         let mut sim = fixed_sim(0);
         let a = sim.add_actor(Box::new(Echo {
             peer: None,
@@ -651,7 +819,7 @@ mod tests {
     #[test]
     fn on_start_hook_runs_once() {
         struct Starter {
-            fired: Rc<RefCell<u32>>,
+            fired: Shared<u32>,
         }
         impl Actor<Msg> for Starter {
             fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -660,7 +828,7 @@ mod tests {
             }
             fn on_message(&mut self, _m: Msg, _ctx: &mut Ctx<'_, Msg>) {}
         }
-        let fired = Rc::new(RefCell::new(0));
+        let fired = Shared::new(0);
         let mut sim: Sim<Msg> = fixed_sim(0);
         sim.add_actor(Box::new(Starter {
             fired: fired.clone(),
@@ -676,7 +844,7 @@ mod tests {
         /// Logs lifecycle events; tries to send from on_crash (must be
         /// discarded) and schedules a timer from on_recover.
         struct Durable {
-            log: Rc<RefCell<Vec<String>>>,
+            log: Shared<Vec<String>>,
             peer: ActorId,
         }
         impl Actor<Msg> for Durable {
@@ -696,8 +864,8 @@ mod tests {
                 ctx.schedule_self(SimDuration::from_millis(5), Msg::Tick);
             }
         }
-        let log = Rc::new(RefCell::new(Vec::new()));
-        let peer_log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
+        let peer_log = Shared::new(Vec::new());
         let mut sim = fixed_sim(0);
         let a = sim.add_actor(Box::new(Durable {
             log: log.clone(),
@@ -728,7 +896,7 @@ mod tests {
     #[test]
     fn inject_many_matches_repeated_inject_at() {
         fn run(batched: bool) -> Vec<(SimTime, Msg)> {
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Shared::new(Vec::new());
             let mut sim = fixed_sim(0);
             let a = sim.add_actor(Box::new(Echo {
                 peer: None,
@@ -759,17 +927,168 @@ mod tests {
         for _ in 0..4 {
             let id = sim.add_actor(Box::new(Echo {
                 peer: None,
-                log: Rc::new(RefCell::new(Vec::new())),
+                log: Shared::new(Vec::new()),
                 ticks: 0,
             }));
             assert_ne!(id, ActorId::EXTERNAL);
         }
     }
 
+    /// Relays `Ping(n)` to its peer as `Ping(n-1)`, logging every
+    /// receipt to its own (unshared) log.
+    struct Relay {
+        peer: ActorId,
+        log: Shared<Vec<(SimTime, u32)>>,
+    }
+
+    impl Actor<Msg> for Relay {
+        fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+            if let Msg::Ping(n) = msg {
+                self.log.borrow_mut().push((ctx.now(), n));
+                if n > 0 {
+                    ctx.send(self.peer, Msg::Ping(n - 1));
+                }
+            }
+        }
+    }
+
+    /// Per-actor message logs plus final time, traffic count, and
+    /// metrics snapshot.
+    type RelayArtifacts = (Vec<Vec<(SimTime, u32)>>, SimTime, u64, String);
+
+    /// Build a 6-actor relay ring over a jittery network with a
+    /// crash/recovery and an overload window, run it, and collect
+    /// every observable artifact.
+    fn relay_artifacts(shards: Option<Vec<u32>>) -> RelayArtifacts {
+        let mut sim = Sim::with_network(
+            42,
+            Network::new(DelayModel {
+                base: SimDuration::from_millis(5),
+                jitter: SimDuration::from_millis(9),
+            }),
+        );
+        let n = 6u32;
+        let logs: Vec<Shared<Vec<(SimTime, u32)>>> =
+            (0..n).map(|_| Shared::new(Vec::new())).collect();
+        for i in 0..n {
+            sim.add_actor(Box::new(Relay {
+                peer: ActorId((i + 1) % n),
+                log: logs[i as usize].clone(),
+            }));
+        }
+        if let Some(map) = shards {
+            sim.set_shard_map(map);
+        }
+        for i in 0..4u64 {
+            sim.inject_at(
+                SimTime::from_millis(i * 3),
+                ActorId(i as u32 % n),
+                Msg::Ping(12),
+            );
+        }
+        sim.crash_at(ActorId(2), SimTime::from_millis(40), false);
+        sim.recover_at(ActorId(2), SimTime::from_millis(120));
+        sim.overload_between(
+            ActorId(4),
+            SimTime::from_millis(20),
+            SimTime::from_millis(90),
+            SimDuration::from_millis(30),
+        );
+        assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+        let out = logs.iter().map(|l| l.borrow().clone()).collect();
+        (
+            out,
+            sim.now(),
+            sim.network().total_sent(),
+            sim.obs().snapshot_jsonl(),
+        )
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_exactly() {
+        let serial = relay_artifacts(None);
+        for map in [
+            vec![0, 0, 0, 1, 1, 1],
+            vec![0, 1, 2, 0, 1, 2],
+            vec![0, 1, 2, 3, 4, 5],
+        ] {
+            let sharded = relay_artifacts(Some(map.clone()));
+            assert_eq!(serial.0, sharded.0, "actor logs differ for {map:?}");
+            assert_eq!(serial.1, sharded.1, "final time differs for {map:?}");
+            assert_eq!(serial.2, sharded.2, "traffic differs for {map:?}");
+            assert_eq!(serial.3, sharded.3, "metrics snapshot differs for {map:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_metrics_report_epochs() {
+        let mut sim = Sim::with_network(
+            7,
+            Network::new(DelayModel::fixed(SimDuration::from_millis(10))),
+        );
+        let log = Shared::new(Vec::new());
+        let a = sim.add_actor(Box::new(Relay {
+            peer: ActorId(1),
+            log: log.clone(),
+        }));
+        sim.add_actor(Box::new(Relay {
+            peer: ActorId(0),
+            log: Shared::new(Vec::new()),
+        }));
+        sim.set_shard_map(vec![0, 1]);
+        sim.inject_at(SimTime::ZERO, a, Msg::Ping(6));
+        sim.run_to_quiescence();
+        let engine = sim.engine_metrics().with(hcm_obs::export::snapshot_jsonl);
+        assert!(engine.contains("sim.epochs"), "engine metrics: {engine}");
+        assert!(
+            engine.contains("sim.cross_shard_msgs"),
+            "engine metrics: {engine}"
+        );
+        assert_eq!(log.borrow().len(), 4); // Ping(6), 4, 2, 0 at actor 0
+    }
+
+    #[test]
+    fn sharded_run_resumes_across_horizons() {
+        type Logs = (Vec<(SimTime, u32)>, Vec<(SimTime, u32)>, SimTime);
+        fn run(map: Option<Vec<u32>>) -> Logs {
+            let mut sim = Sim::with_network(
+                11,
+                Network::new(DelayModel {
+                    base: SimDuration::from_millis(8),
+                    jitter: SimDuration::from_millis(4),
+                }),
+            );
+            let la = Shared::new(Vec::new());
+            let lb = Shared::new(Vec::new());
+            sim.add_actor(Box::new(Relay {
+                peer: ActorId(1),
+                log: la.clone(),
+            }));
+            sim.add_actor(Box::new(Relay {
+                peer: ActorId(0),
+                log: lb.clone(),
+            }));
+            if let Some(m) = map {
+                sim.set_shard_map(m);
+            }
+            sim.inject_at(SimTime::ZERO, ActorId(0), Msg::Ping(20));
+            assert_eq!(
+                sim.run(Some(SimTime::from_millis(60))),
+                RunOutcome::HorizonReached
+            );
+            assert_eq!(sim.now(), SimTime::from_millis(60));
+            assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+            let a = la.borrow().clone();
+            let b = lb.borrow().clone();
+            (a, b, sim.now())
+        }
+        assert_eq!(run(None), run(Some(vec![0, 1])));
+    }
+
     #[test]
     fn determinism_same_seed_same_schedule() {
         fn run_once(seed: u64) -> Vec<(SimTime, Msg)> {
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Shared::new(Vec::new());
             let mut sim = Sim::with_network(
                 seed,
                 Network::new(DelayModel {

@@ -21,13 +21,11 @@
 //!   checkpoint + replay, demoting the crash to a metric failure:
 //!   obligations are delayed, never lost.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::rc::Rc;
 
 use crate::registry::{FailureKind, GuaranteeRegistry, GuaranteeStatus};
-use hcm_core::{ItemId, Value};
+use hcm_core::{ItemId, Shared, Value};
 use hcm_obs::{Metrics, Scope};
 use hcm_store::{FailureTag, LogRecord, SharedStore, ShellSnapshot, StatusTag};
 
@@ -238,8 +236,8 @@ pub fn tag_to_fail(t: FailureTag) -> FailureKind {
 /// state" can be asserted byte-for-byte across a crash.
 #[must_use]
 pub fn shell_state_blob(
-    private: &Rc<RefCell<BTreeMap<ItemId, Value>>>,
-    registry: &Rc<RefCell<GuaranteeRegistry>>,
+    private: &Shared<BTreeMap<ItemId, Value>>,
+    registry: &Shared<GuaranteeRegistry>,
 ) -> Vec<u8> {
     let snap = ShellSnapshot {
         private: private
@@ -290,8 +288,8 @@ mod tests {
 
     #[test]
     fn state_blob_is_deterministic_and_state_sensitive() {
-        let private = Rc::new(RefCell::new(BTreeMap::new()));
-        let registry = Rc::new(RefCell::new(GuaranteeRegistry::new()));
+        let private = Shared::new(BTreeMap::new());
+        let registry = Shared::new(GuaranteeRegistry::new());
         let a = shell_state_blob(&private, &registry);
         assert_eq!(a, shell_state_blob(&private, &registry));
         private

@@ -19,15 +19,13 @@ use crate::rid::CmRid;
 use crate::shell::{FailureConfig, ShellActor, ShellStatsHandle};
 use crate::translator::{TranslatorActor, TranslatorStatsHandle};
 use hcm_core::{
-    ItemId, RuleId, RuleRegistry, SimDuration, SimTime, SiteId, Trace, TraceRecorder, Value,
+    ItemId, RuleId, RuleRegistry, Shared, SimDuration, SimTime, SiteId, Trace, TraceRecorder, Value,
 };
 use hcm_obs::{Metrics, Scope};
 use hcm_simkit::{Actor, ActorId, Network, Obs, RunOutcome, Sim};
 use hcm_store::{FileStore, MemStore, SharedStore, StoreConfig};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
 
 /// A scenario-construction error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,9 +70,9 @@ pub struct SiteHandle {
     /// CM-private/auxiliary data of the shell (§7.1: applications read
     /// auxiliary data through the shell's programmatic interface —
     /// this is that interface).
-    pub private: Rc<RefCell<BTreeMap<ItemId, Value>>>,
+    pub private: Shared<BTreeMap<ItemId, Value>>,
     /// The shell's guarantee registry.
-    pub registry: Rc<RefCell<GuaranteeRegistry>>,
+    pub registry: Shared<GuaranteeRegistry>,
     /// The shell's durable store when the scenario runs with
     /// [`Durability::Durable`]; `None` otherwise. Exposed so
     /// experiments can inspect (or damage) the log between runs.
@@ -130,6 +128,8 @@ pub struct ScenarioBuilder {
     private_init: Vec<(String, ItemId, Value)>,
     durability: Durability,
     dispatch: DispatchMode,
+    shards: Option<u32>,
+    co_locate: Vec<Vec<String>>,
 }
 
 impl ScenarioBuilder {
@@ -146,6 +146,8 @@ impl ScenarioBuilder {
             private_init: Vec::new(),
             durability: Durability::default(),
             dispatch: DispatchMode::default(),
+            shards: None,
+            co_locate: Vec::new(),
         }
     }
 
@@ -167,6 +169,30 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn durability(mut self, d: Durability) -> Self {
         self.durability = d;
+        self
+    }
+
+    /// Partition the deployment across `n` worker threads for the
+    /// sharded execution mode: each site's shell and translator are
+    /// co-located on one shard and sites round-robin across shards.
+    /// Observable results (trace, metrics snapshot, spans, checker
+    /// verdicts) are byte-identical to serial execution. Defaults to
+    /// the `HCM_SIM_THREADS` environment variable, else serial.
+    #[must_use]
+    pub fn shards(mut self, n: u32) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
+    /// Constrain the named sites to one shard in sharded runs. Needed
+    /// when a protocol actor talks to several sites' translators with
+    /// short local sends (e.g. the batch propagator spanning BR and
+    /// HQ): the sharded executor requires sub-lookahead sends to stay
+    /// intra-shard. Unknown names are rejected by `build`.
+    #[must_use]
+    pub fn co_locate<S: AsRef<str>>(mut self, sites: &[S]) -> Self {
+        self.co_locate
+            .push(sites.iter().map(|s| s.as_ref().to_owned()).collect());
         self
     }
 
@@ -281,18 +307,23 @@ impl ScenarioBuilder {
                     private.insert(item.clone(), value.clone());
                 }
             }
-            privates.push(Rc::new(RefCell::new(private)));
+            privates.push(Shared::new(private));
             let mut greg = GuaranteeRegistry::new();
             for g in &strategy.guarantees {
                 greg.register(g.clone(), strategy.guarantee_sites(g));
             }
-            registries.push(Rc::new(RefCell::new(greg)));
+            registries.push(Shared::new(greg));
         }
 
         let mut shell_stores = Vec::with_capacity(n);
         for (i, _) in self.sites.iter().enumerate() {
             let site = SiteId::new(i as u32);
             let shell_stats = ShellStatsHandle::new(obs.metrics.clone(), site);
+            // Scoped recorder/span handles mint ids from a per-actor
+            // namespace, so ids are identical in serial and sharded
+            // execution regardless of interleaving.
+            let mut shell_obs = obs.clone();
+            shell_obs.spans = obs.spans.scoped(i as u32);
             let mut shell = ShellActor::new(
                 site,
                 ActorId((n + i) as u32),
@@ -300,8 +331,8 @@ impl ScenarioBuilder {
                 &strategy,
                 privates[i].clone(),
                 registries[i].clone(),
-                recorder.clone(),
-                obs.clone(),
+                recorder.scoped(i as u32),
+                shell_obs,
                 self.failure_cfg,
                 self.stop_periodics_at,
             );
@@ -333,7 +364,7 @@ impl ScenarioBuilder {
                 iface_ids[i].clone(),
                 strategy.interest_patterns(site),
                 self.stop_periodics_at,
-                recorder.clone(),
+                recorder.scoped((n + i) as u32),
                 t_stats.clone(),
             );
             let (policy, t_store) = actor_policy(
@@ -361,6 +392,67 @@ impl ScenarioBuilder {
             });
         }
 
+        // Shard assignment: a site's shell and translator are
+        // co-located (their interactions use short local delays), as
+        // is every co_locate group; groups round-robin across shards.
+        // An all-zeros map keeps the serial executor.
+        let shards = self
+            .shards
+            .or_else(|| {
+                std::env::var("HCM_SIM_THREADS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(1)
+            .clamp(1, n as u32);
+        // Union-find over site indexes: each co_locate group collapses
+        // into its first member's set.
+        let mut rep: Vec<usize> = (0..n).collect();
+        fn find(rep: &mut [usize], mut i: usize) -> usize {
+            while rep[i] != i {
+                rep[i] = rep[rep[i]];
+                i = rep[i];
+            }
+            i
+        }
+        for group in &self.co_locate {
+            let mut idx = Vec::with_capacity(group.len());
+            for name in group {
+                let Some(sid) = site_ids.get(name) else {
+                    return Err(ScenarioError {
+                        msg: format!("co_locate names unknown site `{name}`"),
+                    });
+                };
+                idx.push(sid.index() as usize);
+            }
+            for w in idx.windows(2) {
+                let (a, b) = (find(&mut rep, w[0]), find(&mut rep, w[1]));
+                rep[a.max(b)] = a.min(b);
+            }
+        }
+        let mut site_shard = vec![0u32; n];
+        let mut map = vec![0u32; 2 * n];
+        let mut root_shard: Vec<Option<u32>> = vec![None; n];
+        let mut next = 0u32;
+        for i in 0..n {
+            let r = find(&mut rep, i);
+            let sh = *root_shard[r].get_or_insert_with(|| {
+                let sh = next % shards;
+                next += 1;
+                sh
+            });
+            site_shard[i] = sh;
+            map[i] = sh; // shell
+            map[n + i] = sh; // translator
+        }
+        sim.set_shard_map(map);
+        // After a sharded run, restore the trace's canonical order
+        // (metrics and spans are finalized by the simulation itself).
+        {
+            let rec = recorder.clone();
+            sim.add_order_sink(Box::new(move || rec.finalize_order()));
+        }
+
         Ok(Scenario {
             obs,
             sim,
@@ -368,6 +460,7 @@ impl ScenarioBuilder {
             rule_registry: registry,
             strategy,
             sites: site_handles,
+            site_shard,
         })
     }
 }
@@ -388,6 +481,9 @@ pub struct Scenario {
     pub strategy: CompiledStrategy,
     /// Per-site handles, in site order.
     pub sites: Vec<SiteHandle>,
+    /// Shard of each site's shell+translator pair (all zeros when
+    /// running serially).
+    site_shard: Vec<u32>,
 }
 
 impl Scenario {
@@ -408,9 +504,27 @@ impl Scenario {
         self.sim.inject_at(at, target, CmMsg::Spontaneous(op));
     }
 
-    /// Add a workload (or protocol) actor.
-    pub fn add_actor(&mut self, actor: Box<dyn Actor<CmMsg>>) -> ActorId {
+    /// Add a workload (or protocol) actor (on shard 0 in sharded
+    /// runs — prefer [`Scenario::add_actor_for`] for actors that
+    /// interact with one site through local sends).
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<CmMsg> + Send>) -> ActorId {
         self.sim.add_actor(actor)
+    }
+
+    /// Add an actor co-located with a named site's shard, so its
+    /// short-delay local interactions with that site's shell and
+    /// translator never cross a shard boundary in parallel runs.
+    pub fn add_actor_for(&mut self, site: &str, actor: Box<dyn Actor<CmMsg> + Send>) -> ActorId {
+        let shard = self.site_shard[self.site(site).site.index() as usize];
+        let id = self.sim.add_actor(actor);
+        self.sim.assign_shard(id, shard);
+        id
+    }
+
+    /// The shard hosting a named site's components (0 when serial).
+    #[must_use]
+    pub fn site_shard(&self, site: &str) -> u32 {
+        self.site_shard[self.site(site).site.index() as usize]
     }
 
     /// Inflict an overload window on a site's database: its internal

@@ -22,16 +22,15 @@ use crate::durability::{
 use crate::msg::{CmMsg, FailureKindMsg, RequestKind, TranslatorEvent};
 use crate::registry::{FailureKind, GuaranteeRegistry};
 use hcm_core::{
-    Bindings, EventDesc, EventId, ItemId, RuleId, SimDuration, SimTime, SiteId, TemplateDesc,
-    TraceRecorder, Value,
+    Bindings, EventDesc, EventId, ItemId, RuleId, Shared, SimDuration, SimTime, SiteId,
+    TemplateDesc, TraceRecorder, Value,
 };
 use hcm_obs::{Metrics, Obs, Scope, SpanId, SpanKind, Spans};
 use hcm_rulelang::ast::BindingsEnv;
 use hcm_simkit::{Actor, ActorId, Ctx};
 use hcm_store::{LogRecord, ShellSnapshot};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Delay for shell→translator request submission (same machine).
 const LOCAL_DELAY: SimDuration = SimDuration::from_millis(1);
@@ -154,7 +153,7 @@ pub struct ShellActor {
     shells: Vec<ActorId>,
     /// Shared arena of every compiled rule (execution needs RHS
     /// definitions of rules matched elsewhere).
-    rules: Rc<Vec<CompiledRule>>,
+    rules: Arc<Vec<CompiledRule>>,
     /// Positions into `rules` whose LHS this shell evaluates.
     my_rules: Vec<usize>,
     /// Discrimination index over `my_rules` (see [`crate::dispatch`]).
@@ -163,14 +162,14 @@ pub struct ShellActor {
     mode: DispatchMode,
     /// Rule id → arena position (remote fires look rules up by id);
     /// built once per strategy, shared by every shell.
-    rule_index: Rc<HashMap<RuleId, usize>>,
+    rule_index: Arc<HashMap<RuleId, usize>>,
     /// `P`-headed rules this shell arms timers for.
     periodic_rules: Vec<PeriodicRule>,
-    locator: Rc<Locator>,
+    locator: Arc<Locator>,
     /// CM-private and auxiliary data (shared with the scenario so
     /// applications can read it — §7.1).
-    private: Rc<RefCell<BTreeMap<ItemId, Value>>>,
-    registry: Rc<RefCell<GuaranteeRegistry>>,
+    private: Shared<BTreeMap<ItemId, Value>>,
+    registry: Shared<GuaranteeRegistry>,
     recorder: TraceRecorder,
     stats: ShellStatsHandle,
     metrics: Metrics,
@@ -212,14 +211,14 @@ impl ShellActor {
         translator: ActorId,
         shells: Vec<ActorId>,
         strategy: &CompiledStrategy,
-        private: Rc<RefCell<BTreeMap<ItemId, Value>>>,
-        registry: Rc<RefCell<GuaranteeRegistry>>,
+        private: Shared<BTreeMap<ItemId, Value>>,
+        registry: Shared<GuaranteeRegistry>,
         recorder: TraceRecorder,
         obs: Obs,
         failure_cfg: FailureConfig,
         stop_periodics_at: SimTime,
     ) -> Self {
-        let rules = Rc::clone(&strategy.rules);
+        let rules = Arc::clone(&strategy.rules);
         let my_rules: Vec<usize> = rules
             .iter()
             .enumerate()
@@ -245,7 +244,7 @@ impl ShellActor {
             mode: DispatchMode::default(),
             rule_index: strategy.rule_lookup(),
             periodic_rules,
-            locator: Rc::clone(&strategy.locator),
+            locator: Arc::clone(&strategy.locator),
             rules,
             private,
             registry,
@@ -389,7 +388,7 @@ impl ShellActor {
         self.cand_scratch = cands;
         bindings.clear();
         self.match_scratch = bindings;
-        let rules = Rc::clone(&self.rules);
+        let rules = Arc::clone(&self.rules);
         for (i, bindings) in firings.drain(..) {
             let r = &rules[i];
             if r.rhs_site == self.site {
@@ -468,7 +467,7 @@ impl ShellActor {
             now,
             "",
         );
-        let rules = Rc::clone(&self.rules);
+        let rules = Arc::clone(&self.rules);
         let rule = &rules[pos].rule;
         for (step_idx, step) in rule.steps.iter().enumerate() {
             // Step conditions are evaluated at firing time at the RHS
@@ -837,7 +836,7 @@ impl ShellActor {
         let Some(period) = pr.period else {
             return;
         };
-        let rules = Rc::clone(&self.rules);
+        let rules = Arc::clone(&self.rules);
         let r = &rules[pr.pos];
         let rule_id = r.id;
         let desc = EventDesc::P { period };

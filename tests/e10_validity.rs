@@ -42,16 +42,19 @@ fn run_scenario(seed: u64) -> Scenario {
         .build()
         .unwrap();
     let target = sc.site("A").translator;
-    sc.add_actor(Box::new(PoissonWriter::sql_updates(
-        target,
-        SimDuration::from_secs(20),
-        SimTime::from_secs(900),
-        "employees",
-        "salary",
-        "empid",
-        vec!["e1".into(), "e2".into(), "e3".into()],
-        (1, 100_000),
-    )));
+    sc.add_actor_for(
+        "A",
+        Box::new(PoissonWriter::sql_updates(
+            target,
+            SimDuration::from_secs(20),
+            SimTime::from_secs(900),
+            "employees",
+            "salary",
+            "empid",
+            vec!["e1".into(), "e2".into(), "e3".into()],
+            (1, 100_000),
+        )),
+    );
     sc.run_to_quiescence();
     sc
 }

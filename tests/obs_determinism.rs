@@ -40,16 +40,19 @@ fn e1_snapshot(seed: u64) -> (String, String) {
         .build()
         .unwrap();
     let target = sc.site("A").translator;
-    sc.add_actor(Box::new(PoissonWriter::sql_updates(
-        target,
-        SimDuration::from_secs(20),
-        SimTime::from_secs(900),
-        "employees",
-        "salary",
-        "empid",
-        vec!["e0".into(), "e1".into()],
-        (1, 9_999),
-    )));
+    sc.add_actor_for(
+        "A",
+        Box::new(PoissonWriter::sql_updates(
+            target,
+            SimDuration::from_secs(20),
+            SimTime::from_secs(900),
+            "employees",
+            "salary",
+            "empid",
+            vec!["e0".into(), "e1".into()],
+            (1, 9_999),
+        )),
+    );
     sc.run_to_quiescence();
     (sc.metrics_jsonl(), sc.metrics_table())
 }
